@@ -1,0 +1,30 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the relevant scenarios once (via
+``benchmark.pedantic`` so pytest-benchmark records the wall time without
+re-running a multi-second simulation dozens of times), prints the same
+rows/series the paper reports, and asserts the headline *shape* — who
+wins, by roughly what factor — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Benchmark ``fn`` with a single round (simulations are seconds-long)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_figure(title: str, body: str) -> None:
+    """Uniform banner used by every reproduction benchmark."""
+    bar = "=" * 78
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture
+def figure_printer():
+    """Fixture handing benchmarks the banner printer."""
+    return print_figure

@@ -1,0 +1,66 @@
+"""Ablation: sleep-transition cost vs the governor's break-even logic.
+
+The paper derives a 1.14 ms break-even from the 1.6 ms / 4 mJ wake
+transition.  Sweeping the transition time moves the knee: with cheap
+transitions even small batches let the CPU sleep profitably; expensive
+transitions push the profitable batch size up.
+"""
+
+from conftest import run_once
+
+from repro.apps import create_app
+from repro.calibration import default_calibration
+from repro.core import Scenario, Scheme, run_scenario
+from repro.units import ms
+
+TRANSITIONS_MS = (0.2, 1.6, 8.0, 40.0)
+BATCH = 10  # 10 ms gaps at the step counter's 1 kHz
+
+
+def _measure():
+    sweep = {}
+    for transition_ms in TRANSITIONS_MS:
+        cal = default_calibration().with_cpu(
+            transition_time_s=ms(transition_ms)
+        )
+        baseline = run_scenario(
+            Scenario(
+                apps=[create_app("A2")], scheme=Scheme.BASELINE, calibration=cal
+            )
+        )
+        batching = run_scenario(
+            Scenario(
+                apps=[create_app("A2")],
+                scheme=Scheme.BATCHING,
+                batch_size=BATCH,
+                calibration=cal,
+            )
+        )
+        sweep[transition_ms] = (
+            batching.cpu_wake_count,
+            batching.energy.savings_vs(baseline.energy),
+        )
+    return sweep
+
+
+def test_ablation_break_even(benchmark, figure_printer):
+    sweep = run_once(benchmark, _measure)
+    lines = [f"{'Transition(ms)':>15}{'CPU wakes':>11}{'Savings':>10}"]
+    for transition_ms, (wakes, savings) in sweep.items():
+        lines.append(f"{transition_ms:>15.1f}{wakes:>11}{savings * 100:>9.1f}%")
+    figure_printer(
+        f"Ablation — wake-transition cost (batch={BATCH}, step counter)",
+        "\n".join(lines),
+    )
+
+    # Cheap transitions: the governor sleeps in the 10 ms batch gaps.
+    assert sweep[0.2][0] > 40
+    assert sweep[0.2][1] > 0.5
+    # 8 ms transitions cost 20 mJ -> break-even 6.7 ms, still under the
+    # 10 ms gap, so napping continues; at 40 ms (break-even 33 ms) the
+    # governor stops sleeping between batches entirely.
+    assert sweep[8.0][0] > 10
+    assert sweep[40.0][0] <= 1
+    # Savings degrade monotonically as transitions get pricier.
+    savings = [entry[1] for entry in sweep.values()]
+    assert all(a >= b - 1e-9 for a, b in zip(savings, savings[1:]))

@@ -1,0 +1,71 @@
+"""Ablation: how slow can the MCU be before COM stops paying off?
+
+Sweeps a uniform MCU-vs-CPU slowdown factor.  Energy savings are robust
+(the CPU sleeps regardless of how long the MCU grinds), but performance
+crosses under 1.0x once the slowdown outweighs the saved interrupt and
+transfer work — and past the window length the offload violates QoS and
+is rejected outright.
+"""
+
+from conftest import run_once
+
+from repro.apps import create_app
+from repro.core import Scenario, Scheme, check_offloadable, run_scenario
+from repro.calibration import default_calibration
+from repro.errors import OffloadError
+
+SLOWDOWNS = (2.0, 5.0, 10.0, 19.0, 50.0, 200.0, 500.0)
+
+
+def _measure():
+    baseline = run_scenario(
+        Scenario(apps=[create_app("A2")], scheme=Scheme.BASELINE)
+    )
+    sweep = {}
+    for factor in SLOWDOWNS:
+        cal = default_calibration().with_uniform_mcu_slowdown(factor)
+        try:
+            result = run_scenario(
+                Scenario(
+                    apps=[create_app("A2")],
+                    scheme=Scheme.COM,
+                    calibration=cal,
+                )
+            )
+            sweep[factor] = (
+                result.energy.savings_vs(baseline.energy),
+                result.speedup_vs(baseline),
+            )
+        except OffloadError:
+            sweep[factor] = None
+    return sweep
+
+
+def test_ablation_mcu_slowdown(benchmark, figure_printer):
+    sweep = run_once(benchmark, _measure)
+    lines = [f"{'Slowdown':>9}{'COM saving':>12}{'Speedup':>9}"]
+    for factor, entry in sweep.items():
+        if entry is None:
+            lines.append(f"{factor:>9.0f}{'-- offload rejected (QoS) --':>22}")
+        else:
+            savings, speedup = entry
+            lines.append(
+                f"{factor:>9.0f}{savings * 100:>11.1f}%{speedup:>8.2f}x"
+            )
+    figure_printer(
+        "Ablation — MCU slowdown sweep (step counter under COM)",
+        "\n".join(lines),
+    )
+
+    # Energy savings barely move with MCU speed (the MCU is cheap).
+    assert sweep[2.0][0] > 0.8
+    assert sweep[200.0][0] > 0.75
+    # Performance crosses below baseline somewhere past the paper's 19x.
+    assert sweep[2.0][1] > sweep[19.0][1] > sweep[200.0][1]
+    assert sweep[2.0][1] > 1.0
+    assert sweep[200.0][1] < 1.0
+    # A slowdown that cannot meet the window QoS is rejected.
+    assert sweep[500.0] is None
+    # The offload gate agrees with the executor.
+    bad_cal = default_calibration().with_uniform_mcu_slowdown(500.0)
+    assert not check_offloadable(create_app("A2"), bad_cal)

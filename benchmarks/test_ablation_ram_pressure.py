@@ -1,0 +1,69 @@
+"""Ablation: batching under MCU RAM pressure.
+
+Whole-window batching needs the window's worth of samples resident in
+the MCU's RAM (the ESP8266 has 80 KB).  Shrinking the RAM makes
+whole-window batching overflow (flagged as capacity violations), while
+partial batching with a small batch size sails through — the capacity/
+interrupt-count trade-off behind the paper's "batches as much sensor
+data as possible" wording.
+"""
+
+from conftest import run_once
+
+from repro.apps import create_app
+from repro.calibration import default_calibration
+from repro.core import Scenario, Scheme, run_scenario
+
+#: M2X's window needs ~20.5 KB of sample storage (Table II), in small
+#: samples that partial batches can drain incrementally.
+APP_ID = "A4"
+SMALL_RAM = 16 * 1024
+
+
+def _measure():
+    tight = default_calibration().with_mcu(ram_bytes=SMALL_RAM)
+    whole_window = run_scenario(
+        Scenario(
+            apps=[create_app(APP_ID)], scheme=Scheme.BATCHING, calibration=tight
+        )
+    )
+    partial = run_scenario(
+        Scenario(
+            apps=[create_app(APP_ID)],
+            scheme=Scheme.BATCHING,
+            batch_size=256,
+            calibration=tight,
+        )
+    )
+    roomy = run_scenario(
+        Scenario(apps=[create_app(APP_ID)], scheme=Scheme.BATCHING)
+    )
+    return whole_window, partial, roomy
+
+
+def test_ablation_ram_pressure(benchmark, figure_printer):
+    whole_window, partial, roomy = run_once(benchmark, _measure)
+    lines = [
+        f"{'Configuration':<34}{'Violations':>11}{'Interrupts':>12}",
+        f"{'16 KB RAM, whole-window batch':<34}"
+        f"{len(whole_window.qos_violations):>11}{whole_window.interrupt_count:>12}",
+        f"{'16 KB RAM, batch=256':<34}"
+        f"{len(partial.qos_violations):>11}{partial.interrupt_count:>12}",
+        f"{'80 KB RAM, whole-window batch':<34}"
+        f"{len(roomy.qos_violations):>11}{roomy.interrupt_count:>12}",
+    ]
+    figure_printer(
+        "Ablation — MCU RAM pressure on Batching (M2X)", "\n".join(lines)
+    )
+
+    # Whole-window batching overflows 16 KB: violations are flagged.
+    assert whole_window.qos_violations
+    assert any("RAM" in violation for violation in whole_window.qos_violations)
+    # Partial batching fits and still collapses the interrupt count.
+    assert not partial.qos_violations
+    assert partial.interrupt_count < 30
+    # The stock 80 KB never overflows.
+    assert not roomy.qos_violations
+    # Both runs still produce full functional results.
+    assert whole_window.results_ok
+    assert partial.results_ok

@@ -1,0 +1,37 @@
+"""Figure 1: energy of an idle hub vs the 10-app baseline average.
+
+Paper: running sensor-driven apps consumes ~9.5x the idle-hub energy.
+"""
+
+from conftest import run_once
+
+from repro.apps import light_weight_ids
+from repro.core import Scheme, run_apps
+
+
+def _measure():
+    per_app = {
+        app_id: run_apps([app_id], Scheme.BASELINE)
+        for app_id in light_weight_ids()
+    }
+    # Average baseline power over each app's own run duration.
+    powers = [
+        result.energy.total_j / result.duration_s
+        for result in per_app.values()
+    ]
+    baseline_power = sum(powers) / len(powers)
+    idle_power = next(iter(per_app.values())).energy.idle_floor_power_w
+    return baseline_power, idle_power
+
+
+def test_fig01_idle_vs_baseline(benchmark, figure_printer):
+    baseline_power, idle_power = run_once(benchmark, _measure)
+    ratio = baseline_power / idle_power
+    figure_printer(
+        "Figure 1 — Energy consumption of an idle IoT hub vs the baseline",
+        f"{'Baseline (avg of 10 apps)':<30}{'100.0%':>10}\n"
+        f"{'Idle':<30}{100.0 / ratio:>9.1f}%\n"
+        f"\nbaseline/idle power ratio: {ratio:.1f}x   (paper: 9.5x)",
+    )
+    # Shape: an order of magnitude, in the paper's neighbourhood.
+    assert 7.0 < ratio < 14.0

@@ -1,0 +1,64 @@
+"""Figure 3: energy breakdown of SC, M2X, SC+M2X and BEAM on SC+M2X.
+
+Paper: SC and M2X cost 1902 mJ / 9071 mJ alone, 10973 mJ together, and
+BEAM improves the concurrent case by only ~9% (one shared sensor out of
+five).
+"""
+
+from conftest import run_once
+
+from repro.core import Scheme, run_apps
+from repro.energy.report import ROUTINE_LABELS
+from repro.hw.power import Routine
+from repro.units import to_mj
+
+
+def _measure():
+    return {
+        "SC": run_apps(["A2"], Scheme.BASELINE),
+        "M2X": run_apps(["A4"], Scheme.BASELINE),
+        "SC+M2X baseline": run_apps(["A2", "A4"], Scheme.BASELINE),
+        "SC+M2X BEAM": run_apps(["A2", "A4"], Scheme.BEAM),
+    }
+
+
+def test_fig03_beam_motivation(benchmark, figure_printer):
+    results = run_once(benchmark, _measure)
+    routines = [r for r in Routine.ORDER if r != Routine.IDLE]
+    lines = [
+        f"{'Scenario':<18}" + "".join(f"{ROUTINE_LABELS[r]:>24}" for r in routines)
+        + f"{'Total (mJ)':>12}"
+    ]
+    for label, result in results.items():
+        per_routine = result.energy.marginal_by_routine()
+        cells = "".join(
+            f"{to_mj(per_routine.get(r, 0.0)):>24.1f}" for r in routines
+        )
+        lines.append(f"{label:<18}{cells}{to_mj(result.energy.marginal_j):>12.1f}")
+    concurrent = results["SC+M2X baseline"]
+    beam = results["SC+M2X BEAM"]
+    beam_saving = beam.energy.savings_vs(concurrent.energy)
+    lines.append(f"\nBEAM saving on SC+M2X: {beam_saving * 100:.1f}%  (paper: 9%)")
+    figure_printer("Figure 3 — Energy breakdown motivating the study", "\n".join(lines))
+
+    sc = results["SC"].energy.marginal_j
+    m2x = results["M2X"].energy.marginal_j
+    both = concurrent.energy.marginal_j
+    # Shape: M2X (five sensors, 2220 interrupts) costs more than SC, and
+    # running both costs more than either alone but less than the sum
+    # (the always-awake CPU window is shared).  The paper's 4.8x M2X/SC
+    # ratio reflects per-testbed run lengths we do not model.
+    assert m2x > sc
+    assert both > m2x
+    assert both < 1.1 * (sc + m2x)
+    # BEAM helps, but only modestly (one of five sensors is shared).
+    assert 0.02 < beam_saving < 0.25
+    # Transfers are the largest routine in every scenario (70-80% in the
+    # paper; M2X's slow barometer/temperature reads push its collection
+    # share up in our Table-I-faithful model, and BEAM's whole point is to
+    # shrink the transfer share).
+    for label, result in results.items():
+        fractions = result.energy.routine_fractions()
+        assert fractions[Routine.DATA_TRANSFER] == max(fractions.values()), label
+        if "BEAM" not in label:
+            assert fractions[Routine.DATA_TRANSFER] > 0.4, label

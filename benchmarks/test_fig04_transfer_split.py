@@ -1,0 +1,41 @@
+"""Figure 4: where data-transfer energy goes in the baseline.
+
+Paper: ~77% is the CPU waiting, ~13% the MCU side, and only ~10% the
+physical transfer — the software stack, not the wire, is the problem.
+"""
+
+from conftest import run_once
+
+from repro.core import Scheme, run_apps
+from repro.hw.power import Routine
+
+
+def _measure():
+    result = run_apps(["A2"], Scheme.BASELINE)
+    split = {"cpu": 0.0, "mcu": 0.0, "physical": 0.0}
+    for (component, routine), joules in result.energy.by_component_routine.items():
+        if routine != Routine.DATA_TRANSFER:
+            continue
+        if component == "cpu":
+            split["cpu"] += joules
+        elif component == "mcu":
+            split["mcu"] += joules
+        elif component == "pio_bus":
+            split["physical"] += joules
+    return split
+
+
+def test_fig04_transfer_split(benchmark, figure_printer):
+    split = run_once(benchmark, _measure)
+    total = sum(split.values())
+    shares = {k: v / total for k, v in split.items()}
+    figure_printer(
+        "Figure 4 — Energy breakdown of the data-transfer routine (baseline)",
+        f"{'CPU (waiting + driver)':<28}{shares['cpu'] * 100:>7.1f}%   (paper: 77%)\n"
+        f"{'MCU side':<28}{shares['mcu'] * 100:>7.1f}%   (paper: 13%)\n"
+        f"{'Physical transfer':<28}{shares['physical'] * 100:>7.1f}%   (paper: 10%)",
+    )
+    # Shape: the CPU dominates by far; the wire is a small minority.
+    assert shares["cpu"] > 0.7
+    assert shares["physical"] < 0.15
+    assert shares["cpu"] > shares["mcu"] > 0.0

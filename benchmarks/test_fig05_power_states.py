@@ -1,0 +1,60 @@
+"""Figure 5: CPU/MCU power states over time, Baseline vs Batching.
+
+Paper: in Baseline the CPU is active the whole sensing window; in
+Batching it sleeps for ~999 ms and wakes once for the bulk transfer.
+"""
+
+from conftest import run_once
+
+from repro.core import Scheme, run_apps
+from repro.hw.cpu import CpuState
+
+#: Strip-chart glyphs per power state.
+CHARS = {
+    "busy": "#",
+    "idle": "=",
+    "sleep": ".",
+    "deep_sleep": "_",
+    "transition": "^",
+}
+
+
+def _measure():
+    return (
+        run_apps(["A2"], Scheme.BASELINE),
+        run_apps(["A2"], Scheme.BATCHING),
+    )
+
+
+def test_fig05_power_states(benchmark, figure_printer):
+    baseline, batching = run_once(benchmark, _measure)
+    width = 72
+    lines = ["legend: # busy  = idle(awake)  . sleep  _ deep sleep  ^ wake", ""]
+    for label, result in (("Baseline", baseline), ("Batching", batching)):
+        lines.append(f"{label}:")
+        for component in ("cpu", "mcu"):
+            strip = result.hub.recorder.render_ascii(
+                component, result.duration_s, width=width, state_chars=CHARS
+            )
+            lines.append(f"  {component:<4} |{strip}|")
+        lines.append("")
+    figure_printer(
+        "Figure 5 — Power states over time (step counter)", "\n".join(lines)
+    )
+
+    recorder_base = baseline.hub.recorder
+    recorder_batch = batching.hub.recorder
+    # Baseline: the CPU never sleeps during the window (Fig. 5a).
+    assert (
+        recorder_base.time_in_state("cpu", CpuState.SLEEP, baseline.duration_s)
+        == 0.0
+    )
+    # Batching: the CPU sleeps the bulk of the window (paper: ~93%).
+    sleep_fraction = (
+        recorder_batch.time_in_state("cpu", CpuState.SLEEP, batching.duration_s)
+        / batching.duration_s
+    )
+    assert sleep_fraction > 0.8
+    # And it wakes exactly once, for the single batched interrupt.
+    assert batching.cpu_wake_count == 1
+    assert batching.interrupt_count == 1

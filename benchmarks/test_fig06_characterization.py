@@ -1,0 +1,48 @@
+"""Figure 6: memory usage and instruction demand of A1-A10.
+
+Paper: average 26.2 KB of memory (25.8 heap + 0.4 stack) and 47.45 MIPS;
+earthquake has the smallest footprint (16.8 KB), JPEG the largest
+(36.3 KB); step counter needs the least compute (3.94), heartbeat the
+most (108.8).
+"""
+
+from conftest import run_once
+
+from repro.apps import create_app, light_weight_ids
+from repro.hubos import characterize_apps
+
+
+def _measure():
+    return characterize_apps([create_app(i) for i in light_weight_ids()])
+
+
+def test_fig06_characterization(benchmark, figure_printer):
+    rows = run_once(benchmark, _measure)
+    lines = [
+        f"{'App':<5}{'Heap(KB)':>10}{'Stack(KB)':>10}{'Total(KB)':>10}"
+        f"{'MIPS':>8}{'CPU(ms)':>9}{'MCU(ms)':>9}{'Samples':>9}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.table2_id:<5}{row.heap_kb:>10.1f}{row.stack_kb:>10.1f}"
+            f"{row.memory_kb:>10.1f}{row.mips:>8.2f}{row.cpu_compute_ms:>9.2f}"
+            f"{row.mcu_compute_ms:>9.1f}{row.window_samples:>9}"
+        )
+    avg_mem = sum(r.memory_kb for r in rows) / len(rows)
+    avg_mips = sum(r.mips for r in rows) / len(rows)
+    lines.append(
+        f"\naverage memory {avg_mem:.1f} KB (paper: 26.2), "
+        f"average MIPS {avg_mips:.2f} (paper: 47.45)"
+    )
+    figure_printer("Figure 6 — Memory usage and instructions executed", "\n".join(lines))
+
+    by_id = {row.table2_id: row for row in rows}
+    assert abs(avg_mem - 26.2) < 0.5
+    assert abs(avg_mips - 47.45) < 0.5
+    assert min(rows, key=lambda r: r.memory_kb).table2_id == "A7"
+    assert max(rows, key=lambda r: r.memory_kb).table2_id == "A9"
+    assert min(rows, key=lambda r: r.mips).table2_id == "A2"
+    assert max(rows, key=lambda r: r.mips).table2_id == "A8"
+    # Every app is far below the CPU's 24,000 MIPS (paper: <= 0.5%).
+    assert all(row.mips < 0.005 * 24_000 for row in rows)
+    assert by_id["A9"].memory_kb > 36.0

@@ -1,0 +1,52 @@
+"""Figure 7: step-counter energy breakdown, Baseline vs Batching.
+
+Paper: Batching lets the CPU sleep ~93% of the window, cutting the
+interrupt routine's energy by ~80% and total energy by ~63% for the
+step counter; bars are normalized to the Baseline total.
+"""
+
+from conftest import run_once
+
+from repro.core import Scheme, run_apps
+from repro.energy.report import format_breakdown_table
+from repro.hw.cpu import CpuState
+from repro.hw.power import Routine
+
+
+def _measure():
+    return {
+        "Baseline": run_apps(["A2"], Scheme.BASELINE),
+        "Batching": run_apps(["A2"], Scheme.BATCHING),
+    }
+
+
+def test_fig07_batching_breakdown(benchmark, figure_printer):
+    results = run_once(benchmark, _measure)
+    table = format_breakdown_table(
+        {name: result.energy for name, result in results.items()},
+        baseline_key="Baseline",
+    )
+    batching = results["Batching"]
+    sleep_share = batching.hub.recorder.time_in_state(
+        "cpu", CpuState.SLEEP, batching.duration_s
+    ) / batching.duration_s
+    figure_printer(
+        "Figure 7 — Step-counter energy: Baseline vs Batching",
+        table + f"\n\nCPU asleep {sleep_share * 100:.1f}% of the window "
+        f"(paper: 93%)",
+    )
+
+    baseline_energy = results["Baseline"].energy
+    batching_energy = batching.energy
+    savings = batching_energy.savings_vs(baseline_energy)
+    # Paper: ~63% total savings for the step counter.
+    assert 0.45 < savings < 0.75
+    assert sleep_share > 0.85
+    # Interrupt energy collapses (paper: ~80% interrupt-energy reduction).
+    base_irq = baseline_energy.marginal_by_routine()[Routine.INTERRUPT]
+    batch_irq = batching_energy.marginal_by_routine().get(Routine.INTERRUPT, 0.0)
+    assert batch_irq < 0.25 * base_irq
+    # Data collection cost is unchanged by batching (same sensor reads).
+    base_coll = baseline_energy.marginal_by_routine()[Routine.DATA_COLLECTION]
+    batch_coll = batching_energy.marginal_by_routine()[Routine.DATA_COLLECTION]
+    assert abs(batch_coll - base_coll) / base_coll < 0.35

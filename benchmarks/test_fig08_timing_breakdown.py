@@ -1,0 +1,55 @@
+"""Figure 8: timing breakdown of the step counter, Baseline vs COM.
+
+Paper: Baseline spends ~100/48/192/2.21 ms in collection / interrupts /
+transfer / compute; offloading eliminates interrupts and transfers and
+pays 21.7 ms of (slower) MCU compute instead — a net win because
+(21.7 - 2.21) < (48 + 192).
+"""
+
+from conftest import run_once
+
+from repro.core import Scheme, run_apps
+from repro.energy.report import ROUTINE_LABELS
+from repro.hw.power import Routine
+
+
+def _measure():
+    return {
+        "Baseline": run_apps(["A2"], Scheme.BASELINE),
+        "COM": run_apps(["A2"], Scheme.COM),
+    }
+
+
+def test_fig08_timing_breakdown(benchmark, figure_printer):
+    results = run_once(benchmark, _measure)
+    routines = [r for r in Routine.ORDER if r != Routine.IDLE]
+    lines = [
+        f"{'Scheme':<10}"
+        + "".join(f"{ROUTINE_LABELS[r]:>24}" for r in routines)
+        + f"{'Total (ms)':>12}"
+    ]
+    for name, result in results.items():
+        cells = "".join(
+            f"{result.busy_times.get(r, 0.0) * 1e3:>24.1f}" for r in routines
+        )
+        lines.append(f"{name:<10}{cells}{result.total_busy_s * 1e3:>12.1f}")
+    figure_printer(
+        "Figure 8 — Step-counter timing breakdown, Baseline vs COM",
+        "\n".join(lines),
+    )
+
+    base = results["Baseline"].busy_times
+    com = results["COM"].busy_times
+    # Interrupt and transfer work vanish under COM.
+    assert com[Routine.INTERRUPT] < 0.05 * base[Routine.INTERRUPT]
+    assert com[Routine.DATA_TRANSFER] < 0.05 * base[Routine.DATA_TRANSFER]
+    # Compute takes ~10x longer on the MCU (2.21 ms -> 21.7 ms).
+    assert com[Routine.APP_COMPUTE] > 5 * base[Routine.APP_COMPUTE]
+    assert abs(com[Routine.APP_COMPUTE] - 21.7e-3) < 3e-3
+    assert abs(base[Routine.APP_COMPUTE] - 2.21e-3) < 0.5e-3
+    # The paper's inequality: the MCU slowdown is smaller than the saved
+    # interrupt + transfer work, so COM is a net performance win.
+    slowdown = com[Routine.APP_COMPUTE] - base[Routine.APP_COMPUTE]
+    saved = base[Routine.INTERRUPT] + base[Routine.DATA_TRANSFER]
+    assert slowdown < saved
+    assert results["COM"].total_busy_s < results["Baseline"].total_busy_s

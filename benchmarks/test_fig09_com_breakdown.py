@@ -1,0 +1,54 @@
+"""Figure 9: step-counter energy under Baseline / Batching / COM.
+
+Paper: COM cuts the step counter's energy by ~73% vs baseline (85% on
+average across the ten apps), at the cost of a larger app-compute share
+since the MCU is slower.
+"""
+
+from conftest import run_once
+
+from repro.core import Scheme, run_apps
+from repro.energy.report import format_breakdown_table
+from repro.hw.power import Routine
+
+
+def _measure():
+    return {
+        "Baseline": run_apps(["A2"], Scheme.BASELINE),
+        "Batching": run_apps(["A2"], Scheme.BATCHING),
+        "COM": run_apps(["A2"], Scheme.COM),
+    }
+
+
+def test_fig09_com_breakdown(benchmark, figure_printer):
+    results = run_once(benchmark, _measure)
+    table = format_breakdown_table(
+        {name: result.energy for name, result in results.items()},
+        baseline_key="Baseline",
+    )
+    figure_printer(
+        "Figure 9 — Step-counter energy: Baseline vs Batching vs COM", table
+    )
+
+    baseline = results["Baseline"].energy
+    batching = results["Batching"].energy
+    com = results["COM"].energy
+    com_savings = com.savings_vs(baseline)
+    batching_savings = batching.savings_vs(baseline)
+    # Ordering: COM > Batching > nothing, and COM in the paper's range.
+    assert com_savings > batching_savings > 0.3
+    assert 0.7 < com_savings < 0.95
+    # COM removes interrupt and transfer energy almost entirely.
+    com_routines = com.marginal_by_routine()
+    base_routines = baseline.marginal_by_routine()
+    assert com_routines.get(Routine.INTERRUPT, 0.0) < 0.05 * base_routines[
+        Routine.INTERRUPT
+    ]
+    assert com_routines.get(Routine.DATA_TRANSFER, 0.0) < 0.1 * base_routines[
+        Routine.DATA_TRANSFER
+    ]
+    # What remains under COM is dominated by data collection (the sensor
+    # reads do not change) plus the MCU's slower compute.
+    assert com_routines[Routine.DATA_COLLECTION] > com_routines.get(
+        Routine.DATA_TRANSFER, 0.0
+    )

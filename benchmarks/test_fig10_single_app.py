@@ -1,0 +1,65 @@
+"""Figure 10: normalized energy of all ten apps x three schemes.
+
+Paper: averaged over A1-A10, Batching saves 52% and COM saves 85% of
+the Baseline energy.
+"""
+
+from conftest import run_once
+
+from repro.apps import light_weight_ids
+from repro.core import Scheme, run_apps
+from repro.energy.report import normalized_stack
+from repro.hw.power import Routine
+
+
+def _measure():
+    table = {}
+    for app_id in light_weight_ids():
+        table[app_id] = {
+            Scheme.BASELINE: run_apps([app_id], Scheme.BASELINE),
+            Scheme.BATCHING: run_apps([app_id], Scheme.BATCHING),
+            Scheme.COM: run_apps([app_id], Scheme.COM),
+        }
+    return table
+
+
+def test_fig10_single_app(benchmark, figure_printer):
+    table = run_once(benchmark, _measure)
+    routines = [r for r in Routine.ORDER if r != Routine.IDLE]
+    header = (
+        f"{'App':<5}{'Scheme':<10}"
+        + "".join(f"{r:>18}" for r in routines)
+        + f"{'Total%':>9}"
+    )
+    lines = [header]
+    batching_savings, com_savings = [], []
+    for app_id, results in table.items():
+        baseline = results[Scheme.BASELINE].energy
+        for scheme in (Scheme.BASELINE, Scheme.BATCHING, Scheme.COM):
+            energy = results[scheme].energy
+            stack = normalized_stack(energy, baseline)
+            cells = "".join(f"{stack.get(r, 0) * 100:>17.1f}%" for r in routines)
+            total = energy.normalized_to(baseline) * 100
+            lines.append(f"{app_id:<5}{scheme:<10}{cells}{total:>8.1f}%")
+        batching_savings.append(
+            results[Scheme.BATCHING].energy.savings_vs(baseline)
+        )
+        com_savings.append(results[Scheme.COM].energy.savings_vs(baseline))
+    avg_batching = sum(batching_savings) / len(batching_savings)
+    avg_com = sum(com_savings) / len(com_savings)
+    lines.append(
+        f"\naverage savings: Batching {avg_batching * 100:.1f}% (paper: 52%), "
+        f"COM {avg_com * 100:.1f}% (paper: 85%)"
+    )
+    figure_printer("Figure 10 — Single-app energy across schemes", "\n".join(lines))
+
+    # Headline shape: the paper's two averages, within a few points.
+    assert abs(avg_batching - 0.52) < 0.08
+    assert abs(avg_com - 0.85) < 0.06
+    # COM beats Batching for every single app.
+    for app_id, results in table.items():
+        baseline = results[Scheme.BASELINE].energy
+        assert (
+            results[Scheme.COM].energy.savings_vs(baseline)
+            > results[Scheme.BATCHING].energy.savings_vs(baseline)
+        ), app_id

@@ -1,0 +1,72 @@
+"""Figure 12: scenarios involving the heavy-weight speech-to-text app.
+
+Paper: (a) A11 alone — the app-specific routine dominates (78%) and
+Batching saves only ~5%; (b) A11+A6 — BEAM 2%, Batching 7%, BCOM 9%;
+(c) A11+A6+A1 — BEAM 2%, Batching 8%, BCOM 10%.
+"""
+
+from conftest import run_once
+
+from repro.core import Scheme, run_apps
+from repro.hw.power import Routine
+from repro.workloads import HEAVY_SCENARIOS
+
+#: Two windows: steady-state pipelining of the slower-than-real-time app.
+WINDOWS = 2
+
+
+def _measure():
+    table = {}
+    for combo in HEAVY_SCENARIOS:
+        schemes = [Scheme.BASELINE, Scheme.BATCHING]
+        if len(combo) > 1:
+            schemes += [Scheme.BEAM, Scheme.BCOM]
+        table[combo] = {
+            scheme: run_apps(list(combo), scheme, windows=WINDOWS)
+            for scheme in schemes
+        }
+    return table
+
+
+def test_fig12_heavyweight(benchmark, figure_printer):
+    table = run_once(benchmark, _measure)
+    lines = [f"{'Scenario':<14}{'Scheme':<10}{'Saving':>9}{'Compute share':>15}"]
+    savings = {}
+    for combo, results in table.items():
+        label = "+".join(combo)
+        baseline = results[Scheme.BASELINE].energy
+        for scheme, result in results.items():
+            saving = result.energy.savings_vs(baseline)
+            savings[(combo, scheme)] = saving
+            share = result.energy.routine_fractions().get(
+                Routine.APP_COMPUTE, 0.0
+            )
+            lines.append(
+                f"{label:<14}{scheme:<10}{saving * 100:>8.1f}%{share * 100:>14.1f}%"
+            )
+    figure_printer(
+        "Figure 12 — Heavy-weight (speech-to-text) scenarios", "\n".join(lines)
+    )
+
+    a11 = ("A11",)
+    base_a11 = table[a11][Scheme.BASELINE]
+    compute_share = base_a11.energy.routine_fractions()[Routine.APP_COMPUTE]
+    # (a) The app-specific routine dominates A11's baseline (paper: 78%).
+    assert compute_share > 0.6
+    # Batching helps A11 far less than the 52% it gives light apps.
+    assert 0.0 < savings[(a11, Scheme.BATCHING)] < 0.25
+
+    for combo in HEAVY_SCENARIOS[1:]:
+        # Ordering within each mixed scenario: BEAM < Batching < BCOM.
+        assert (
+            savings[(combo, Scheme.BEAM)]
+            < savings[(combo, Scheme.BATCHING)]
+            < savings[(combo, Scheme.BCOM)]
+        ), combo
+        # And nothing approaches the light-app savings.
+        assert savings[(combo, Scheme.BCOM)] < 0.45
+    # More offloadable apps -> more BCOM benefit (9% -> 10% in the paper).
+    assert (
+        savings[(HEAVY_SCENARIOS[2], Scheme.BCOM)]
+        > savings[(HEAVY_SCENARIOS[1], Scheme.BCOM)]
+    )

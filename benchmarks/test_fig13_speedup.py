@@ -1,0 +1,45 @@
+"""Figure 13: COM's performance speedup over the Baseline per app.
+
+Paper: average 1.88x; 8 of 10 apps speed up, while arduinoJSON (A3,
+0.9x) and heartbeat irregularity (A8, 0.8x) slow down because they move
+so little data that the MCU's slower compute outweighs the saved
+interrupt/transfer work.
+"""
+
+from conftest import run_once
+
+from repro.apps import light_weight_ids
+from repro.core import Scheme, run_apps
+
+
+def _measure():
+    speedups = {}
+    for app_id in light_weight_ids():
+        baseline = run_apps([app_id], Scheme.BASELINE)
+        com = run_apps([app_id], Scheme.COM)
+        speedups[app_id] = com.speedup_vs(baseline)
+    return speedups
+
+
+def test_fig13_speedup(benchmark, figure_printer):
+    speedups = run_once(benchmark, _measure)
+    lines = [f"{'App':<6}{'Speedup':>9}"]
+    for app_id, speedup in speedups.items():
+        marker = "  (slowdown)" if speedup < 1.0 else ""
+        lines.append(f"{app_id:<6}{speedup:>8.2f}x{marker}")
+    average = sum(speedups.values()) / len(speedups)
+    lines.append(f"\naverage {average:.2f}x (paper: 1.88x)")
+    figure_printer("Figure 13 — COM performance speedup vs Baseline", "\n".join(lines))
+
+    # Shape: A3 and A8 regress (the paper's two slowdowns)...
+    assert speedups["A3"] < 1.0
+    assert speedups["A8"] < 1.0
+    # ...by mild factors, as in the paper (0.9x / 0.8x).
+    assert speedups["A3"] > 0.7
+    assert speedups["A8"] > 0.7
+    # Most apps win, and the mean shows a clear net speedup.
+    winners = [app for app, speedup in speedups.items() if speedup >= 1.0]
+    assert len(winners) >= 7
+    assert average > 1.15
+    # The step counter's speedup follows Fig. 8's timing argument.
+    assert speedups["A2"] > 1.4

@@ -1,0 +1,33 @@
+"""Infrastructure health: simulator throughput.
+
+Not a paper figure — this tracks the kernel's events-per-second so
+regressions in the hot path (event heap, process resume, power-state
+recording) show up in benchmark history.
+"""
+
+from repro.core import Scheme, run_apps
+from repro.sim import Delay, Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Raw kernel: a ping-pong of bare Delay events."""
+
+    def run():
+        sim = Simulator()
+
+        def ticker():
+            for _ in range(20_000):
+                yield Delay(0.0001)
+
+        sim.spawn(ticker())
+        sim.run()
+        return sim.now
+
+    final = benchmark(run)
+    assert final > 1.9
+
+
+def test_full_stack_scenario_rate(benchmark):
+    """End-to-end: the step-counter baseline (1000 samples, ~6k events)."""
+    result = benchmark(lambda: run_apps(["A2"], Scheme.BASELINE))
+    assert result.results_ok

@@ -1,0 +1,32 @@
+"""Table I: specifications of the ten sensors."""
+
+from conftest import run_once
+
+from repro.sensors import TABLE_I, get_spec
+from repro.units import ms, mw
+from repro.workloads import table1_rows
+
+
+def test_table1_sensors(benchmark, figure_printer):
+    rows = run_once(benchmark, table1_rows)
+    figure_printer("Table I — Sensor specifications", "\n".join(rows))
+
+    # Spot-check rows against the paper.
+    barometer = get_spec("S1")
+    assert barometer.bus == "SPI"
+    assert barometer.read_time_s == ms(37.5)
+    assert barometer.typical_power_w == mw(19.47)
+    fingerprint = get_spec("S3")
+    assert fingerprint.read_time_s == ms(850.0)
+    assert fingerprint.sample_bytes == 512
+    accel = get_spec("S4")
+    assert accel.sample_bytes == 12
+    assert accel.qos_rate_hz == 1000.0
+    # Only the high-resolution image sensor is MCU-unfriendly.
+    assert [s.sensor_id for s in TABLE_I.values() if not s.mcu_friendly] == [
+        "S10H"
+    ]
+    # QoS rates never exceed the physical maxima.
+    for spec in TABLE_I.values():
+        if spec.qos_rate_hz is not None and spec.max_rate_hz is not None:
+            assert spec.qos_rate_hz <= spec.max_rate_hz

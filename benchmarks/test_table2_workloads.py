@@ -1,0 +1,41 @@
+"""Table II: salient features of the eleven workloads.
+
+The interrupt counts and sensor-data sizes are *derived* quantities in
+this library (QoS rate x window x sample size), so this bench verifies
+the derivation reproduces the paper's columns.
+"""
+
+from conftest import run_once
+
+from repro.apps import create_app
+from repro.units import to_kib
+from repro.workloads import table2_rows
+
+#: Paper's Table II: (sensor data KB, interrupts) per app.
+PAPER = {
+    "A1": (11.72, 2000),
+    "A2": (11.72, 1000),
+    "A3": (0.16, 20),
+    "A4": (20.47, 2220),
+    "A5": (36.91, 1221),
+    "A6": (11.72, 2000),
+    "A7": (11.72, 1000),
+    "A8": (3.91, 1000),
+    "A9": (23.81, 1),
+    "A10": (0.50, 1),
+    "A11": (5.86, 1000),
+}
+
+
+def test_table2_workloads(benchmark, figure_printer):
+    rows = run_once(benchmark, table2_rows)
+    figure_printer("Table II — Workload features (derived)", "\n".join(rows))
+
+    for table2_id, (expected_kb, expected_irqs) in PAPER.items():
+        profile = create_app(table2_id).profile
+        assert profile.interrupts_per_window == expected_irqs, table2_id
+        measured_kb = to_kib(profile.sensor_data_bytes)
+        assert abs(measured_kb - expected_kb) / expected_kb < 0.03, table2_id
+    # Exactly one heavy-weight app.
+    heavy = [i for i in PAPER if create_app(i).profile.heavy]
+    assert heavy == ["A11"]

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Offload advisor: should each app run on the CPU or the MCU?
+
+For every Table II workload this prints the COM feasibility verdict
+(§III-B's four criteria), then measures the actual energy saving and
+speedup for the offloadable ones:
+
+    python examples/offload_advisor.py [--fast]
+
+``--fast`` skips the measurement pass and prints verdicts only.
+"""
+
+import sys
+
+from repro import Scheme, check_offloadable, create_app, run_apps
+from repro.apps import all_ids
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    print(f"{'App':<5}{'Name':<14}{'Verdict':<13}Why / measurement")
+    print("-" * 76)
+    for app_id in all_ids():
+        app = create_app(app_id)
+        report = check_offloadable(app)
+        if not report:
+            print(f"{app_id:<5}{app.name:<14}{'CPU':<13}{report.reasons[0]}")
+            continue
+        detail = (
+            f"fits in {report.required_ram_bytes / 1024:.1f} KB, "
+            f"computes in {report.mcu_compute_time_s * 1e3:.1f} ms"
+        )
+        if not fast:
+            baseline = run_apps([app_id], Scheme.BASELINE)
+            com = run_apps([app_id], Scheme.COM)
+            savings = com.energy.savings_vs(baseline.energy)
+            speedup = com.speedup_vs(baseline)
+            verdict = "MCU" if speedup >= 1.0 else "MCU (slower)"
+            detail += f"; saves {savings * 100:.0f}%, {speedup:.2f}x speed"
+        else:
+            verdict = "MCU"
+        print(f"{app_id:<5}{app.name:<14}{verdict:<13}{detail}")
+
+    print(
+        "\nRule of thumb (the paper's takeaway): offload whenever the app\n"
+        "fits — energy always wins; performance wins too unless the app\n"
+        "moves almost no data (arduinoJSON) or is compute-bound (heartbeat)."
+    )
+
+
+if __name__ == "__main__":
+    main()

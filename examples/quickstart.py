@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: run the paper's running example (the step counter).
+
+Runs A2 under Baseline, Batching and COM on the simulated hub, and
+prints the energy story of the paper's Figures 5, 7 and 9:
+
+    python examples/quickstart.py
+"""
+
+from repro import Scheme, run_apps
+from repro.energy.report import ROUTINE_LABELS
+from repro.hw.power import Routine
+from repro.units import to_mj
+
+
+def main() -> None:
+    print("Simulating the step counter (A2): 1000 accelerometer samples")
+    print("per 1-second window on a Pi-3B-class hub with an ESP8266 MCU.\n")
+
+    results = {
+        scheme: run_apps(["A2"], scheme)
+        for scheme in (Scheme.BASELINE, Scheme.BATCHING, Scheme.COM)
+    }
+    baseline = results[Scheme.BASELINE]
+
+    header = f"{'Scheme':<10}{'Energy':>12}{'Savings':>10}{'IRQs':>7}{'Steps':>7}"
+    print(header)
+    print("-" * len(header))
+    for scheme, result in results.items():
+        savings = result.energy.savings_vs(baseline.energy)
+        steps = result.result_payloads("stepcounter")[0]["steps"]
+        print(
+            f"{scheme:<10}{to_mj(result.energy.marginal_j):>10.0f} mJ"
+            f"{savings * 100:>9.1f}%{result.interrupt_count:>7}{steps:>7}"
+        )
+
+    print("\nWhere the baseline energy goes (the paper's headline):")
+    for routine, share in sorted(
+        baseline.energy.routine_fractions().items(), key=lambda kv: -kv[1]
+    ):
+        if routine == Routine.IDLE:
+            continue
+        print(f"  {ROUTINE_LABELS[routine]:<24}{share * 100:>6.1f}%")
+
+    print("\nCPU power states over the window (one char ~ 14 ms):")
+    chars = {"busy": "#", "idle": "=", "sleep": ".", "deep_sleep": "_", "transition": "^"}
+    for scheme, result in results.items():
+        strip = result.hub.recorder.render_ascii(
+            "cpu", result.duration_s, width=72, state_chars=chars
+        )
+        print(f"  {scheme:<10}|{strip}|")
+    print("\nlegend: # busy  = idle(awake)  . sleep  _ deep sleep  ^ waking")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""The eleven IoT workloads of Table II, implemented for real.
+
+A1-A10 are light-weight (offloadable); A11 (speech-to-text) is the
+heavy-weight app used in the paper's Figure 12 scenarios.
+"""
+
+from .arduinojson import ArduinoJsonApp
+from .base import AppProfile, AppResult, IoTApp, SampleWindow
+from .blynk_app import BlynkApp
+from .coap_server import CoapServerApp
+from .dropbox import DropboxApp
+from .earthquake import EarthquakeApp
+from .fingerprint_app import FingerprintApp
+from .heartbeat import HeartbeatApp
+from .jpegdec import JpegDecoderApp
+from .m2x import M2XApp
+from .registry import APP_FACTORIES, all_ids, create_app, light_weight_ids
+from .speech2text import SpeechToTextApp
+from .stepcounter import StepCounterApp
+
+__all__ = [
+    "APP_FACTORIES",
+    "AppProfile",
+    "AppResult",
+    "ArduinoJsonApp",
+    "BlynkApp",
+    "CoapServerApp",
+    "DropboxApp",
+    "EarthquakeApp",
+    "FingerprintApp",
+    "HeartbeatApp",
+    "IoTApp",
+    "JpegDecoderApp",
+    "M2XApp",
+    "SampleWindow",
+    "SpeechToTextApp",
+    "StepCounterApp",
+    "all_ids",
+    "create_app",
+    "light_weight_ids",
+]

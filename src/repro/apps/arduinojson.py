@@ -1,0 +1,64 @@
+"""A3 — arduinoJSON (Protocol Library).
+
+Formats barometer + temperature readings into a JSON document and parses
+it back (the round trip is the library's self-test).  Collects only 0.16
+KB of sensor data per window (Table II) — which is exactly why COM slows
+it down: there is almost no transfer cost to save (§IV-F).
+"""
+
+from __future__ import annotations
+
+from ..protocols import dumps, loads
+from ..units import kib
+from .base import AppProfile, AppResult, IoTApp, SampleWindow
+
+PROFILE = AppProfile(
+    table2_id="A3",
+    name="arduinojson",
+    title="arduinoJSON",
+    category="Protocol Library",
+    user_task="JSON Formatting",
+    sensor_ids=("S1", "S2"),
+    mips=12.0,
+    heap_bytes=kib(17.6),
+    stack_bytes=kib(0.4),
+    output_bytes=512,
+)
+
+
+class ArduinoJsonApp(IoTApp):
+    """Serializes sensor readings to JSON and verifies the round trip."""
+
+    def __init__(self) -> None:
+        super().__init__(PROFILE)
+        self.documents_built = 0
+
+    def compute(self, window: SampleWindow) -> AppResult:
+        document = {
+            "device": "hub-01",
+            "window": window.window_index,
+            "readings": {
+                "barometer_hpa": [
+                    round(float(value), 4)
+                    for value in window.scalar_series("S1")
+                ],
+                "temperature_c": [
+                    round(float(value), 4)
+                    for value in window.scalar_series("S2")
+                ],
+            },
+        }
+        text = dumps(document)
+        parsed = loads(text)  # the library's own verification pass
+        if parsed["window"] != window.window_index:
+            raise AssertionError("JSON round trip corrupted the document")
+        self.documents_built += 1
+        return self.make_result(
+            window,
+            {
+                "json_bytes": len(text),
+                "readings": len(parsed["readings"]["barometer_hpa"])
+                + len(parsed["readings"]["temperature_c"]),
+                "documents_built": self.documents_built,
+            },
+        )

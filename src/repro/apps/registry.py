@@ -1,0 +1,61 @@
+"""Registry of the eleven Table II workloads."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import WorkloadError
+from .arduinojson import ArduinoJsonApp
+from .base import IoTApp
+from .blynk_app import BlynkApp
+from .coap_server import CoapServerApp
+from .dropbox import DropboxApp
+from .earthquake import EarthquakeApp
+from .fingerprint_app import FingerprintApp
+from .heartbeat import HeartbeatApp
+from .jpegdec import JpegDecoderApp
+from .m2x import M2XApp
+from .speech2text import SpeechToTextApp
+from .stepcounter import StepCounterApp
+
+#: Constructor per Table II id, in table order.
+APP_FACTORIES: Dict[str, Callable[[], IoTApp]] = {
+    "A1": CoapServerApp,
+    "A2": StepCounterApp,
+    "A3": ArduinoJsonApp,
+    "A4": M2XApp,
+    "A5": BlynkApp,
+    "A6": DropboxApp,
+    "A7": EarthquakeApp,
+    "A8": HeartbeatApp,
+    "A9": JpegDecoderApp,
+    "A10": FingerprintApp,
+    "A11": SpeechToTextApp,
+}
+
+#: Alternate lookup by machine name ("stepcounter", "m2x", ...).
+_BY_NAME: Dict[str, str] = {
+    factory().name: table2_id for table2_id, factory in APP_FACTORIES.items()
+}
+
+
+def create_app(identifier: str) -> IoTApp:
+    """Instantiate a workload by Table II id or machine name."""
+    table2_id = identifier if identifier in APP_FACTORIES else _BY_NAME.get(identifier)
+    if table2_id is None:
+        raise WorkloadError(f"unknown app {identifier!r}")
+    return APP_FACTORIES[table2_id]()
+
+
+def light_weight_ids() -> List[str]:
+    """A1..A10 — offload candidates."""
+    return [
+        table2_id
+        for table2_id, factory in APP_FACTORIES.items()
+        if not factory().profile.heavy
+    ]
+
+
+def all_ids() -> List[str]:
+    """All Table II ids in order."""
+    return list(APP_FACTORIES)

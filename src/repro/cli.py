@@ -1,0 +1,185 @@
+"""Command-line interface: ``repro-iot`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run A2 A4 --scheme batching --windows 2`` — simulate a scenario and
+  print the result summary plus the energy breakdown.
+* ``compare A2 --schemes baseline batching com`` — run the same apps
+  under several schemes and print the normalized table.
+* ``tables`` — print Table I and Table II.
+* ``apps`` — list the workloads with their offload verdicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .apps import all_ids, create_app
+from .core import Scheme, compare_schemes, run_apps
+from .energy.report import ROUTINE_LABELS, format_breakdown_table
+from .firmware.capability import check_offloadable
+from .hw.power import Routine
+from .units import to_mj
+from .workloads import table1_rows, table2_rows
+
+
+def _add_run_parser(subparsers) -> None:
+    parser = subparsers.add_parser("run", help="simulate one scenario")
+    parser.add_argument("apps", nargs="+", help="Table II ids (A1..A11)")
+    parser.add_argument(
+        "--scheme", default=Scheme.BASELINE, choices=Scheme.ALL
+    )
+    parser.add_argument("--windows", type=int, default=1)
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="partial batch size"
+    )
+
+
+def _add_compare_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "compare", help="run apps under several schemes"
+    )
+    parser.add_argument("apps", nargs="+", help="Table II ids (A1..A11)")
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=[Scheme.BASELINE, Scheme.BATCHING, Scheme.COM],
+        choices=Scheme.ALL,
+    )
+    parser.add_argument("--windows", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-iot",
+        description=(
+            "Energy simulation of IoT app executions "
+            "(ICDCS'19 reproduction)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_run_parser(subparsers)
+    _add_compare_parser(subparsers)
+    subparsers.add_parser("tables", help="print Table I and Table II")
+    subparsers.add_parser("apps", help="list workloads and offload verdicts")
+    trace = subparsers.add_parser(
+        "trace", help="dump a Monsoon-style power trace to CSV"
+    )
+    trace.add_argument("apps", nargs="+", help="Table II ids (A1..A11)")
+    trace.add_argument("--scheme", default=Scheme.BASELINE, choices=Scheme.ALL)
+    trace.add_argument("--windows", type=int, default=1)
+    trace.add_argument(
+        "--out", default=None, help="CSV output path (default: stdout sparkline only)"
+    )
+    trace.add_argument(
+        "--interval-us",
+        type=float,
+        default=1000.0,
+        help="sampling interval in microseconds (default 1000)",
+    )
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from .core import Scenario, run_scenario
+
+    scenario = Scenario.of(
+        args.apps,
+        scheme=args.scheme,
+        windows=args.windows,
+        batch_size=args.batch_size,
+    )
+    result = run_scenario(scenario)
+    print(result.summary())
+    print("\nEnergy by routine:")
+    for routine, share in sorted(
+        result.energy.routine_fractions().items(), key=lambda kv: -kv[1]
+    ):
+        if routine == Routine.IDLE:
+            continue
+        joules = result.energy.routine_j(routine)
+        print(
+            f"  {ROUTINE_LABELS[routine]:<24}{share * 100:>6.1f}%"
+            f"{to_mj(joules):>10.1f} mJ"
+        )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    results = compare_schemes(
+        args.apps, args.schemes, windows=args.windows
+    )
+    baseline_key = args.schemes[0]
+    print(
+        format_breakdown_table(
+            {name: result.energy for name, result in results.items()},
+            baseline_key=baseline_key,
+            title=f"apps={'+'.join(args.apps)} windows={args.windows} "
+            f"(normalized to {baseline_key})",
+        )
+    )
+    return 0
+
+
+def _cmd_tables() -> int:
+    print("Table I — sensors\n")
+    print("\n".join(table1_rows()))
+    print("\nTable II — workloads\n")
+    print("\n".join(table2_rows()))
+    return 0
+
+
+def _cmd_apps() -> int:
+    print(f"{'Id':<5}{'Name':<14}{'Category':<26}{'Offloadable':<12}Notes")
+    for app_id in all_ids():
+        app = create_app(app_id)
+        report = check_offloadable(app)
+        note = "" if report else report.reasons[0]
+        print(
+            f"{app_id:<5}{app.name:<14}{app.profile.category:<26}"
+            f"{'yes' if report else 'no':<12}{note}"
+        )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .energy import PowerMonitor, power_sparkline, write_power_csv
+
+    result = run_apps(args.apps, args.scheme, windows=args.windows)
+    monitor = PowerMonitor(
+        result.hub.recorder, result.energy.idle_floor_power_w
+    )
+    strip, low, high = power_sparkline(monitor, result.duration_s)
+    print(f"hub power over {result.duration_s * 1e3:.0f} ms "
+          f"({low:.2f}..{high:.2f} W):")
+    print(strip)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            rows = write_power_csv(
+                monitor, result.duration_s, args.interval_us * 1e-6, handle
+            )
+        print(f"wrote {rows} samples to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "tables":
+        return _cmd_tables()
+    if args.command == "apps":
+        return _cmd_apps()
+    if args.command == "trace":
+        return _cmd_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

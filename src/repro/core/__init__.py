@@ -1,0 +1,27 @@
+"""The paper's contribution: Batching, COM, BEAM and BCOM executors."""
+
+from ..firmware.capability import OffloadReport, check_offloadable
+from .compare import average_savings, compare_schemes, savings_table
+from .executor import ScenarioRunner, run_apps, run_scenario
+from .results import RunResult, routine_busy_times
+from .scenario import Scenario, Scheme
+from .sweeps import Sweep, SweepPoint, grid_of, run_sweep
+
+__all__ = [
+    "OffloadReport",
+    "RunResult",
+    "Scenario",
+    "ScenarioRunner",
+    "Scheme",
+    "Sweep",
+    "SweepPoint",
+    "average_savings",
+    "check_offloadable",
+    "compare_schemes",
+    "grid_of",
+    "routine_busy_times",
+    "run_apps",
+    "run_scenario",
+    "run_sweep",
+    "savings_table",
+]

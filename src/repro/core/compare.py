@@ -1,0 +1,61 @@
+"""Scheme comparison helpers used by the benchmarks and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..calibration import Calibration
+from .executor import run_apps
+from .results import RunResult
+from .scenario import Scheme
+
+
+def compare_schemes(
+    app_ids: Sequence[str],
+    schemes: Sequence[str],
+    windows: int = 1,
+    calibration: Optional[Calibration] = None,
+    waveforms=None,
+) -> Dict[str, RunResult]:
+    """Run the same apps under several schemes; returns results by scheme.
+
+    Each scheme gets fresh app instances and a fresh hub, so state never
+    leaks between runs.
+    """
+    return {
+        scheme: run_apps(
+            app_ids,
+            scheme,
+            windows=windows,
+            calibration=calibration,
+            waveforms=waveforms,
+        )
+        for scheme in schemes
+    }
+
+
+def savings_table(
+    results: Dict[str, RunResult], baseline_key: str = Scheme.BASELINE
+) -> Dict[str, float]:
+    """Fractional marginal-energy savings per scheme vs the baseline."""
+    baseline = results[baseline_key]
+    return {
+        scheme: result.energy.savings_vs(baseline.energy)
+        for scheme, result in results.items()
+        if scheme != baseline_key
+    }
+
+
+def average_savings(
+    per_app_results: Dict[str, Dict[str, RunResult]],
+    scheme: str,
+    baseline_key: str = Scheme.BASELINE,
+) -> float:
+    """Mean savings of ``scheme`` across per-app comparison dicts."""
+    savings: List[float] = []
+    for results in per_app_results.values():
+        baseline = results[baseline_key]
+        savings.append(results[scheme].energy.savings_vs(baseline.energy))
+    if not savings:
+        return 0.0
+    return sum(savings) / len(savings)

@@ -1,0 +1,108 @@
+"""Parameter-sweep utilities for what-if studies.
+
+The ablation benchmarks and the examples share this small API: build a
+grid of scenario variants, run them, and collect flat result records
+(plain dicts, friendly to CSV/pandas without depending on either).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..errors import ReproError
+from .executor import run_scenario
+from .results import RunResult
+from .scenario import Scenario
+
+
+@dataclass
+class SweepPoint:
+    """One grid point: parameters plus the measured outcome."""
+
+    params: Dict[str, Any]
+    result: Optional[RunResult]
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this point ran to completion."""
+        return self.result is not None
+
+
+@dataclass
+class Sweep:
+    """A completed sweep: ordered points plus helpers."""
+
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def succeeded(self) -> List[SweepPoint]:
+        """Points that produced a result."""
+        return [point for point in self.points if point.ok]
+
+    @property
+    def failed(self) -> List[SweepPoint]:
+        """Points that errored (e.g. offload rejected)."""
+        return [point for point in self.points if not point.ok]
+
+    def records(
+        self, extractor: Callable[[RunResult], Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Flatten to dicts: params merged with extracted metrics."""
+        rows = []
+        for point in self.succeeded:
+            row = dict(point.params)
+            row.update(extractor(point.result))
+            rows.append(row)
+        return rows
+
+    def series(
+        self, param: str, metric: Callable[[RunResult], float]
+    ) -> List[Any]:
+        """(param value, metric) pairs, for plotting or asserting shapes."""
+        return [
+            (point.params[param], metric(point.result))
+            for point in self.succeeded
+        ]
+
+
+def run_sweep(
+    grid: Iterable[Dict[str, Any]],
+    scenario_factory: Callable[..., Scenario],
+    keep_errors: bool = True,
+) -> Sweep:
+    """Run ``scenario_factory(**params)`` for every grid point.
+
+    Library errors (offload rejections, workload misconfigurations) are
+    captured per point when ``keep_errors`` is set; programming errors
+    always propagate.
+    """
+    sweep = Sweep()
+    for params in grid:
+        try:
+            result = run_scenario(scenario_factory(**params))
+            sweep.points.append(SweepPoint(params=dict(params), result=result))
+        except ReproError as exc:
+            if not keep_errors:
+                raise
+            sweep.points.append(
+                SweepPoint(params=dict(params), result=None, error=str(exc))
+            )
+    return sweep
+
+
+def grid_of(**axes: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of named axes as a list of param dicts."""
+    points: List[Dict[str, Any]] = [{}]
+    for name, values in axes.items():
+        points = [
+            {**point, name: value} for point in points for value in values
+        ]
+    return points

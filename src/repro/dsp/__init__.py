@@ -1,0 +1,59 @@
+"""Signal-processing substrate shared by the IoT apps.
+
+Everything the apps' user-level computations need is implemented here from
+first principles on top of numpy: block DCT/IDCT for the JPEG decoder,
+filters and peak detection for the step counter and heartbeat apps, STA/LTA
+for earthquake detection, and an MFCC + DTW front end for speech-to-text.
+"""
+
+from .dct import (
+    block_idct2,
+    blockwise_dct,
+    blockwise_idct,
+    dct2,
+    dct_matrix,
+    dequantize,
+    idct2,
+    quantize,
+    zigzag_indices,
+    zigzag_order,
+)
+from .dtw import dtw_distance
+from .filters import (
+    ema,
+    fir_filter,
+    magnitude,
+    moving_average,
+    normalize,
+)
+from .mfcc import frame_signal, hamming_window, mel_filterbank, mfcc
+from .peaks import adaptive_threshold, find_peaks
+from .stats import rmssd, rr_intervals, sta_lta
+
+__all__ = [
+    "adaptive_threshold",
+    "block_idct2",
+    "blockwise_dct",
+    "blockwise_idct",
+    "dct2",
+    "dct_matrix",
+    "dequantize",
+    "dtw_distance",
+    "ema",
+    "find_peaks",
+    "fir_filter",
+    "frame_signal",
+    "hamming_window",
+    "idct2",
+    "magnitude",
+    "mel_filterbank",
+    "mfcc",
+    "moving_average",
+    "normalize",
+    "quantize",
+    "rmssd",
+    "rr_intervals",
+    "sta_lta",
+    "zigzag_indices",
+    "zigzag_order",
+]

@@ -1,0 +1,131 @@
+"""Type-II/III discrete cosine transforms and JPEG-style block coding.
+
+The JPEG decoder app (A9) performs the inverse DCT the paper cites [60];
+the camera sensor model uses the forward path to synthesize realistic
+frequency-domain frames for it to decode.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Tuple
+
+import numpy as np
+
+#: Standard JPEG luminance quantization table (ITU T.81 Annex K).
+JPEG_LUMA_QTABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+@lru_cache(maxsize=16)
+def dct_matrix(size: int) -> np.ndarray:
+    """Orthonormal type-II DCT matrix ``C`` such that ``X = C @ x``."""
+    if size <= 0:
+        raise ValueError(f"DCT size must be positive, got {size}")
+    k = np.arange(size).reshape(-1, 1)
+    n = np.arange(size).reshape(1, -1)
+    matrix = np.cos(np.pi * (2 * n + 1) * k / (2 * size))
+    matrix *= np.sqrt(2.0 / size)
+    matrix[0, :] /= np.sqrt(2.0)
+    return matrix
+
+
+def dct2(block: np.ndarray) -> np.ndarray:
+    """2-D type-II DCT of a square block."""
+    matrix = dct_matrix(block.shape[0])
+    return matrix @ block @ matrix.T
+
+
+def idct2(coeffs: np.ndarray) -> np.ndarray:
+    """2-D inverse (type-III) DCT; exact inverse of :func:`dct2`."""
+    matrix = dct_matrix(coeffs.shape[0])
+    return matrix.T @ coeffs @ matrix
+
+
+def block_idct2(coeffs: np.ndarray) -> np.ndarray:
+    """Alias for :func:`idct2` (the paper's 'IDCT algorithm')."""
+    return idct2(coeffs)
+
+
+def _tiled_qtable(shape: Tuple[int, int], qtable: np.ndarray) -> np.ndarray:
+    """Tile a block qtable over a whole (block-aligned) coefficient plane."""
+    rows, cols = shape
+    block = qtable.shape[0]
+    if (rows, cols) == qtable.shape:
+        return qtable
+    if rows % block or cols % block:
+        raise ValueError(f"plane {shape} not aligned to {block}x{block} blocks")
+    return np.tile(qtable, (rows // block, cols // block))
+
+
+def quantize(coeffs: np.ndarray, qtable: np.ndarray = JPEG_LUMA_QTABLE) -> np.ndarray:
+    """Quantize DCT coefficients to integers with a JPEG-style table.
+
+    Accepts either a single block or a whole block-aligned plane (the
+    table is tiled across it).
+    """
+    table = _tiled_qtable(coeffs.shape, qtable)
+    return np.round(coeffs / table).astype(np.int32)
+
+
+def dequantize(levels: np.ndarray, qtable: np.ndarray = JPEG_LUMA_QTABLE) -> np.ndarray:
+    """Invert :func:`quantize` (up to rounding loss)."""
+    table = _tiled_qtable(levels.shape, qtable)
+    return levels.astype(np.float64) * table
+
+
+@lru_cache(maxsize=8)
+def zigzag_indices(size: int = 8) -> Tuple[Tuple[int, int], ...]:
+    """Zigzag scan order of an ``size x size`` block as (row, col) pairs."""
+    order = sorted(
+        ((row, col) for row in range(size) for col in range(size)),
+        key=lambda rc: (
+            rc[0] + rc[1],
+            rc[1] if (rc[0] + rc[1]) % 2 == 0 else rc[0],
+        ),
+    )
+    return tuple(order)
+
+
+def zigzag_order(block: np.ndarray) -> np.ndarray:
+    """Flatten a block in zigzag order (entropy-coding order)."""
+    indices = zigzag_indices(block.shape[0])
+    return np.array([block[row, col] for row, col in indices])
+
+
+def _iter_blocks(shape: Tuple[int, int], size: int):
+    rows, cols = shape
+    if rows % size or cols % size:
+        raise ValueError(f"image {shape} not divisible into {size}x{size} blocks")
+    for top in range(0, rows, size):
+        for left in range(0, cols, size):
+            yield top, left
+
+
+def blockwise_dct(image: np.ndarray, size: int = 8) -> np.ndarray:
+    """Forward DCT applied independently to each ``size x size`` tile."""
+    result = np.empty_like(image, dtype=np.float64)
+    for top, left in _iter_blocks(image.shape, size):
+        tile = image[top : top + size, left : left + size]
+        result[top : top + size, left : left + size] = dct2(tile)
+    return result
+
+
+def blockwise_idct(coeffs: np.ndarray, size: int = 8) -> np.ndarray:
+    """Inverse of :func:`blockwise_dct`."""
+    result = np.empty_like(coeffs, dtype=np.float64)
+    for top, left in _iter_blocks(coeffs.shape, size):
+        tile = coeffs[top : top + size, left : left + size]
+        result[top : top + size, left : left + size] = idct2(tile)
+    return result

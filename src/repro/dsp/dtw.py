@@ -1,0 +1,36 @@
+"""Dynamic time warping distance for the speech template matcher."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dtw_distance(series_a: np.ndarray, series_b: np.ndarray) -> float:
+    """DTW alignment cost between two feature sequences.
+
+    Rows are time steps; columns are feature dimensions.  Local cost is the
+    Euclidean distance between feature vectors, and the path may step
+    (+1, 0), (0, +1) or (+1, +1).  Returns the total path cost normalized
+    by the path-length upper bound so that lengths don't dominate.
+    """
+    a = np.atleast_2d(np.asarray(series_a, dtype=np.float64))
+    b = np.atleast_2d(np.asarray(series_b, dtype=np.float64))
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"feature dimensions differ: {a.shape[1]} vs {b.shape[1]}"
+        )
+    len_a, len_b = a.shape[0], b.shape[0]
+    if len_a == 0 or len_b == 0:
+        raise ValueError("cannot align empty sequences")
+    # Pairwise local distances, vectorized.
+    deltas = a[:, None, :] - b[None, :, :]
+    local = np.sqrt((deltas**2).sum(axis=2))
+    cost = np.full((len_a + 1, len_b + 1), np.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, len_a + 1):
+        row = cost[i]
+        prev = cost[i - 1]
+        for j in range(1, len_b + 1):
+            best = min(prev[j], row[j - 1], prev[j - 1])
+            row[j] = local[i - 1, j - 1] + best
+    return float(cost[len_a, len_b] / (len_a + len_b))

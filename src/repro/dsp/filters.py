@@ -1,0 +1,59 @@
+"""Basic smoothing/filtering kernels used by the sensing apps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def moving_average(signal: np.ndarray, window: int) -> np.ndarray:
+    """Centered-causal moving average with edge padding (same length)."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if window == 1:
+        return np.asarray(signal, dtype=np.float64).copy()
+    data = np.asarray(signal, dtype=np.float64)
+    padded = np.concatenate([np.full(window - 1, data[0]), data])
+    kernel = np.full(window, 1.0 / window)
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def ema(signal: np.ndarray, alpha: float) -> np.ndarray:
+    """Exponential moving average, ``y[n] = a*x[n] + (1-a)*y[n-1]``."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    data = np.asarray(signal, dtype=np.float64)
+    result = np.empty_like(data)
+    accumulator = data[0]
+    for index, value in enumerate(data):
+        accumulator = alpha * value + (1.0 - alpha) * accumulator
+        result[index] = accumulator
+    return result
+
+
+def fir_filter(signal: np.ndarray, taps: np.ndarray) -> np.ndarray:
+    """Causal FIR convolution, same output length as the input."""
+    data = np.asarray(signal, dtype=np.float64)
+    coeffs = np.asarray(taps, dtype=np.float64)
+    if coeffs.size == 0:
+        raise ValueError("empty tap vector")
+    padded = np.concatenate([np.zeros(coeffs.size - 1), data])
+    return np.convolve(padded, coeffs, mode="valid")
+
+
+def magnitude(vectors: np.ndarray) -> np.ndarray:
+    """Euclidean norm along the last axis (3-axis accel -> scalar)."""
+    return np.linalg.norm(np.asarray(vectors, dtype=np.float64), axis=-1)
+
+
+def normalize(signal: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-variance scaling.
+
+    (Near-)constant signals map to zeros: a std at floating-point rounding
+    scale would otherwise blow residual noise up to full amplitude.
+    """
+    data = np.asarray(signal, dtype=np.float64)
+    mean = data.mean()
+    std = data.std()
+    if std <= 1e-12 * max(1.0, abs(mean)):
+        return np.zeros_like(data)
+    return (data - mean) / std

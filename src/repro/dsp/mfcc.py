@@ -1,0 +1,92 @@
+"""A compact MFCC front end for the speech-to-text app (A11).
+
+The paper's A11 runs PocketSphinx; our substitute is a template matcher:
+MFCC features (this module) + dynamic time warping (:mod:`repro.dsp.dtw`)
+against per-word templates.  The point, for the energy study, is that the
+computation is far too heavy for the MCU — which this pipeline faithfully
+is — while remaining a real, testable recognizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dct import dct_matrix
+
+
+def hamming_window(length: int) -> np.ndarray:
+    """Standard Hamming window."""
+    if length <= 0:
+        raise ValueError(f"window length must be positive, got {length}")
+    if length == 1:
+        return np.ones(1)
+    n = np.arange(length)
+    return 0.54 - 0.46 * np.cos(2 * np.pi * n / (length - 1))
+
+
+def frame_signal(
+    signal: np.ndarray, frame_length: int, hop_length: int
+) -> np.ndarray:
+    """Split a 1-D signal into overlapping frames (rows)."""
+    if frame_length <= 0 or hop_length <= 0:
+        raise ValueError("frame and hop lengths must be positive")
+    data = np.asarray(signal, dtype=np.float64)
+    if len(data) < frame_length:
+        data = np.concatenate([data, np.zeros(frame_length - len(data))])
+    count = 1 + (len(data) - frame_length) // hop_length
+    frames = np.empty((count, frame_length))
+    for index in range(count):
+        start = index * hop_length
+        frames[index] = data[start : start + frame_length]
+    return frames
+
+
+def _hz_to_mel(hz: np.ndarray) -> np.ndarray:
+    return 2595.0 * np.log10(1.0 + hz / 700.0)
+
+
+def _mel_to_hz(mel: np.ndarray) -> np.ndarray:
+    return 700.0 * (10.0 ** (mel / 2595.0) - 1.0)
+
+
+def mel_filterbank(
+    num_filters: int, fft_size: int, sample_rate_hz: float
+) -> np.ndarray:
+    """Triangular mel filterbank matrix of shape (filters, fft_size//2+1)."""
+    if num_filters <= 0:
+        raise ValueError("need at least one mel filter")
+    low_mel = _hz_to_mel(np.array(0.0))
+    high_mel = _hz_to_mel(np.array(sample_rate_hz / 2.0))
+    mel_points = np.linspace(low_mel, high_mel, num_filters + 2)
+    hz_points = _mel_to_hz(mel_points)
+    bins = np.floor((fft_size + 1) * hz_points / sample_rate_hz).astype(int)
+    bank = np.zeros((num_filters, fft_size // 2 + 1))
+    for index in range(1, num_filters + 1):
+        left, center, right = bins[index - 1], bins[index], bins[index + 1]
+        center = max(center, left + 1)
+        right = max(right, center + 1)
+        for freq_bin in range(left, center):
+            bank[index - 1, freq_bin] = (freq_bin - left) / (center - left)
+        for freq_bin in range(center, min(right, bank.shape[1])):
+            bank[index - 1, freq_bin] = (right - freq_bin) / (right - center)
+    return bank
+
+
+def mfcc(
+    signal: np.ndarray,
+    sample_rate_hz: float,
+    frame_length: int = 256,
+    hop_length: int = 128,
+    num_filters: int = 20,
+    num_coefficients: int = 12,
+) -> np.ndarray:
+    """MFCC feature matrix, one row per frame."""
+    frames = frame_signal(signal, frame_length, hop_length)
+    window = hamming_window(frame_length)
+    spectrum = np.abs(np.fft.rfft(frames * window, n=frame_length)) ** 2
+    bank = mel_filterbank(num_filters, frame_length, sample_rate_hz)
+    energies = spectrum @ bank.T
+    energies = np.where(energies > 1e-12, energies, 1e-12)
+    log_energies = np.log(energies)
+    dct = dct_matrix(num_filters)[:num_coefficients]
+    return log_energies @ dct.T

@@ -1,0 +1,40 @@
+"""Peak detection used by the step counter and heartbeat apps."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def adaptive_threshold(signal: np.ndarray, factor: float = 0.5) -> float:
+    """Mean + ``factor`` * std — the classic pedometer trigger level."""
+    data = np.asarray(signal, dtype=np.float64)
+    return float(data.mean() + factor * data.std())
+
+
+def find_peaks(
+    signal: np.ndarray,
+    threshold: float,
+    min_distance: int = 1,
+) -> List[int]:
+    """Indices of local maxima above ``threshold``.
+
+    A sample is a peak if it exceeds both neighbours (ties broken toward
+    the earlier sample) and the threshold; peaks closer than
+    ``min_distance`` samples to an accepted peak are suppressed in
+    left-to-right order.
+    """
+    if min_distance < 1:
+        raise ValueError(f"min_distance must be >= 1, got {min_distance}")
+    data = np.asarray(signal, dtype=np.float64)
+    peaks: List[int] = []
+    last_accepted = -min_distance
+    for index in range(1, len(data) - 1):
+        if data[index] < threshold:
+            continue
+        if data[index - 1] < data[index] >= data[index + 1]:
+            if index - last_accepted >= min_distance:
+                peaks.append(index)
+                last_accepted = index
+    return peaks

@@ -1,0 +1,123 @@
+"""JPEG-style entropy coding: zigzag scan + run-length + varint bytes.
+
+The camera serializes each quantized 8x8 block as a (DC, [(run, level)…],
+end-of-block) stream, the way JPEG's entropy stage does before Huffman
+coding; the decoder app parses it back.  Values use a zigzag varint (the
+protobuf trick) so small coefficients cost one byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from ..errors import ProtocolError
+from .dct import zigzag_indices
+
+#: Marker level terminating a block's AC list.
+_END_OF_BLOCK_RUN = 0xFF
+
+
+def _zigzag_varint(value: int) -> bytes:
+    """Signed varint: zigzag-map to unsigned, then 7-bit groups."""
+    unsigned = (value << 1) if value >= 0 else ((-value) << 1) - 1
+    out = bytearray()
+    while True:
+        bits = unsigned & 0x7F
+        unsigned >>= 7
+        if unsigned:
+            out.append(bits | 0x80)
+        else:
+            out.append(bits)
+            return bytes(out)
+
+
+def _read_varint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one signed varint; returns (value, new position)."""
+    shift = 0
+    unsigned = 0
+    while True:
+        if pos >= len(data):
+            raise ProtocolError("truncated varint in block stream")
+        byte = data[pos]
+        pos += 1
+        unsigned |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            break
+        shift += 7
+        if shift > 63:
+            raise ProtocolError("varint too long")
+    value = (unsigned >> 1) if not unsigned & 1 else -((unsigned + 1) >> 1)
+    return value, pos
+
+
+def _iter_blocks(levels: np.ndarray) -> Iterator[np.ndarray]:
+    rows, cols = levels.shape
+    if rows % 8 or cols % 8:
+        raise ProtocolError(f"plane {levels.shape} not 8x8-aligned")
+    for top in range(0, rows, 8):
+        for left in range(0, cols, 8):
+            yield levels[top : top + 8, left : left + 8]
+
+
+def encode_plane(levels: np.ndarray) -> bytes:
+    """Serialize a quantized coefficient plane to an RLE byte stream."""
+    indices = zigzag_indices(8)
+    out = bytearray()
+    rows, cols = levels.shape
+    out += int(rows).to_bytes(2, "big") + int(cols).to_bytes(2, "big")
+    for block in _iter_blocks(levels):
+        scan = [int(block[r, c]) for r, c in indices]
+        out += _zigzag_varint(scan[0])  # DC
+        run = 0
+        for level in scan[1:]:
+            if level == 0:
+                run += 1
+                continue
+            while run > 254:
+                out.append(254)
+                out += _zigzag_varint(0)
+                run -= 254
+            out.append(run)
+            out += _zigzag_varint(level)
+            run = 0
+        out.append(_END_OF_BLOCK_RUN)
+    return bytes(out)
+
+
+def decode_plane(data: bytes) -> np.ndarray:
+    """Parse :func:`encode_plane` output back into the coefficient plane."""
+    if len(data) < 4:
+        raise ProtocolError("truncated plane header")
+    rows = int.from_bytes(data[0:2], "big")
+    cols = int.from_bytes(data[2:4], "big")
+    if rows % 8 or cols % 8 or rows == 0 or cols == 0:
+        raise ProtocolError(f"bad plane dimensions {rows}x{cols}")
+    indices = zigzag_indices(8)
+    levels = np.zeros((rows, cols), dtype=np.int32)
+    pos = 4
+    for top in range(0, rows, 8):
+        for left in range(0, cols, 8):
+            scan: List[int] = [0] * 64
+            dc, pos = _read_varint(data, pos)
+            scan[0] = dc
+            index = 1
+            while True:
+                if pos >= len(data):
+                    raise ProtocolError("truncated block stream")
+                run = data[pos]
+                pos += 1
+                if run == _END_OF_BLOCK_RUN:
+                    break
+                value, pos = _read_varint(data, pos)
+                index += run
+                if index >= 64:
+                    raise ProtocolError("AC index past block end")
+                scan[index] = value
+                index += 1
+            for (r, c), value in zip(indices, scan):
+                levels[top + r, left + c] = value
+    if pos != len(data):
+        raise ProtocolError(f"{len(data) - pos} trailing bytes after plane")
+    return levels

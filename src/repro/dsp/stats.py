@@ -1,0 +1,53 @@
+"""Statistics kernels: STA/LTA triggering and heart-rate variability."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def sta_lta(
+    signal: np.ndarray, short_window: int, long_window: int
+) -> np.ndarray:
+    """Short-term / long-term average ratio (seismic trigger classic).
+
+    The ratio is computed over the rectified signal; indices before one
+    full long window are left at 1.0 (no trigger during warm-up).
+    """
+    if not 0 < short_window < long_window:
+        raise ValueError(
+            f"need 0 < short ({short_window}) < long ({long_window})"
+        )
+    data = np.abs(np.asarray(signal, dtype=np.float64))
+    cumulative = np.concatenate([[0.0], np.cumsum(data)])
+    ratio = np.ones(len(data))
+    for index in range(long_window, len(data)):
+        sta = (
+            cumulative[index + 1] - cumulative[index + 1 - short_window]
+        ) / short_window
+        lta = (
+            cumulative[index + 1] - cumulative[index + 1 - long_window]
+        ) / long_window
+        ratio[index] = sta / lta if lta > 0 else 1.0
+    return ratio
+
+
+def rr_intervals(peak_indices: Sequence[int], sample_rate_hz: float) -> np.ndarray:
+    """Inter-beat intervals in seconds from R-peak sample indices."""
+    if sample_rate_hz <= 0:
+        raise ValueError(f"sample rate must be positive, got {sample_rate_hz}")
+    peaks = np.asarray(peak_indices, dtype=np.float64)
+    if peaks.size < 2:
+        return np.empty(0)
+    return np.diff(peaks) / sample_rate_hz
+
+
+def rmssd(intervals: np.ndarray) -> float:
+    """Root mean square of successive differences — the HRV irregularity
+    measure the heartbeat app thresholds on."""
+    data = np.asarray(intervals, dtype=np.float64)
+    if data.size < 2:
+        return 0.0
+    diffs = np.diff(data)
+    return float(np.sqrt(np.mean(diffs**2)))

@@ -1,0 +1,30 @@
+"""Energy metering: trace integration and routine-level accounting.
+
+This package replaces the paper's Monsoon power monitor.  The
+:class:`PowerMonitor` integrates the piecewise-constant power trace of every
+component and attributes every joule to one of the paper's four routines
+(plus ``idle``).
+"""
+
+from .export import (
+    power_csv_string,
+    power_sparkline,
+    sparkline,
+    write_power_csv,
+    write_state_csv,
+)
+from .meter import EnergyReport, PowerMonitor
+from .report import format_breakdown_table, format_energy_mj, normalized_stack
+
+__all__ = [
+    "EnergyReport",
+    "PowerMonitor",
+    "format_breakdown_table",
+    "format_energy_mj",
+    "normalized_stack",
+    "power_csv_string",
+    "power_sparkline",
+    "sparkline",
+    "write_power_csv",
+    "write_state_csv",
+]

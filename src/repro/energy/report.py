@@ -1,0 +1,74 @@
+"""Plain-text rendering of energy reports for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..hw.power import Routine
+from ..units import to_mj
+from .meter import EnergyReport
+
+#: Human names used in tables, matching the paper's legend.
+ROUTINE_LABELS: Dict[str, str] = {
+    Routine.DATA_COLLECTION: "Data Collection",
+    Routine.INTERRUPT: "Interrupt",
+    Routine.DATA_TRANSFER: "Data Transfer",
+    Routine.APP_COMPUTE: "App-specific Computing",
+    Routine.IDLE: "Idle",
+}
+
+
+def format_energy_mj(joules: float) -> str:
+    """Render joules as a millijoule string (the paper's unit)."""
+    return f"{to_mj(joules):.1f} mJ"
+
+
+def normalized_stack(
+    report: EnergyReport, baseline: EnergyReport
+) -> Dict[str, float]:
+    """Per-routine bar segments normalized to the baseline (paper style)."""
+    bars = report.scaled_routine_bars(baseline)
+    return {routine: bars.get(routine, 0.0) for routine in Routine.ORDER}
+
+
+def format_breakdown_table(
+    rows: Mapping[str, EnergyReport],
+    baseline_key: str,
+    title: str = "",
+) -> str:
+    """Render scheme-vs-routine normalized percentages as a text table.
+
+    ``rows`` maps scheme names to reports; every bar is normalized to the
+    scheme named by ``baseline_key`` — exactly how the paper's stacked bar
+    charts are scaled.
+    """
+    if baseline_key not in rows:
+        raise KeyError(f"baseline {baseline_key!r} not among rows")
+    baseline = rows[baseline_key]
+    routines = [routine for routine in Routine.ORDER if routine != Routine.IDLE]
+    header = ["Scheme"] + [ROUTINE_LABELS[routine] for routine in routines]
+    header += ["Total %", "Savings %"]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    widths = [max(14, len(column) + 2) for column in header]
+    lines.append("".join(col.ljust(width) for col, width in zip(header, widths)))
+    for name, report in rows.items():
+        stack = normalized_stack(report, baseline)
+        total = report.normalized_to(baseline)
+        savings = report.savings_vs(baseline)
+        cells = [name]
+        cells += [f"{stack.get(routine, 0.0) * 100:6.1f}%" for routine in routines]
+        cells += [f"{total * 100:6.1f}%", f"{savings * 100:6.1f}%"]
+        lines.append(
+            "".join(cell.ljust(width) for cell, width in zip(cells, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    labels: Sequence[str], values: Iterable[float], unit: str = ""
+) -> str:
+    """One-line-per-point rendering for figure series."""
+    lines: List[Tuple[str, float]] = list(zip(labels, values))
+    return "\n".join(f"{label:<16} {value:10.3f} {unit}" for label, value in lines)

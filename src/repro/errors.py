@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly or reached a bad state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or a process misbehaved."""
+
+
+class HardwareError(ReproError):
+    """A hardware model was configured or driven incorrectly."""
+
+
+class PowerStateError(HardwareError):
+    """An illegal power-state transition was requested."""
+
+
+class BusError(HardwareError):
+    """A PIO bus transfer was malformed (unknown device, bad size, ...)."""
+
+
+class CapacityError(HardwareError):
+    """A buffer or memory capacity was exceeded (e.g. MCU batching buffer)."""
+
+
+class SensorError(ReproError):
+    """A sensor read failed its availability checks or was misconfigured."""
+
+
+class OffloadError(ReproError):
+    """An app cannot be offloaded to the MCU (capacity or QoS violation)."""
+
+
+class QoSViolation(ReproError):
+    """A scheme violated an app's sampling-rate or deadline requirement."""
+
+
+class WorkloadError(ReproError):
+    """A workload/scenario definition is inconsistent."""
+
+
+class ProtocolError(ReproError):
+    """A protocol codec (CoAP, Blynk, M2X, JSON) rejected a message."""

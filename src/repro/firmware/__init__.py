@@ -1,0 +1,20 @@
+"""MCU-board firmware: sensor drivers, batching buffers, offload runtime.
+
+This is the software that runs *on the MCU* in the paper's prototype:
+the three-task sensor read pipeline (§II-B), the Batching buffer manager
+(§III-A) and the offloaded-app runtime with its capability checks
+(§III-B).
+"""
+
+from .batching import BatchBuffer
+from .capability import OffloadReport, check_offloadable
+from .driver import read_and_decode
+from .runtime import run_offloaded_compute
+
+__all__ = [
+    "BatchBuffer",
+    "OffloadReport",
+    "check_offloadable",
+    "read_and_decode",
+    "run_offloaded_compute",
+]

@@ -1,0 +1,60 @@
+"""The Batching scheme's MCU-side sample buffer (§III-A).
+
+Samples accumulate in the ESP8266's 80 KB user RAM instead of being
+pushed to the CPU one interrupt at a time.  The buffer accounts its bytes
+against the real :class:`~repro.hw.memory.MemoryRegion`, so an
+over-committed batch fails exactly the way the hardware would.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import CapacityError
+from ..hw.memory import MemoryRegion
+from ..sensors.base import SensorSample
+
+
+class BatchBuffer:
+    """Accumulates one app's window of samples in MCU RAM."""
+
+    def __init__(self, ram: MemoryRegion, label: str):
+        self.ram = ram
+        self.label = label
+        self._samples: List[SensorSample] = []
+        self._bytes = 0
+        self.high_water_bytes = 0
+
+    @property
+    def sample_count(self) -> int:
+        """Samples currently buffered."""
+        return len(self._samples)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes currently held in MCU RAM for this batch."""
+        return self._bytes
+
+    def add(self, sample: SensorSample, nbytes: int) -> None:
+        """Buffer one sample, reserving its bytes in MCU RAM.
+
+        Raises :class:`CapacityError` when the MCU RAM cannot hold it —
+        the batching scheme surfaces that as a QoS/capacity failure.
+        """
+        try:
+            self.ram.allocate(self.label, nbytes)
+        except CapacityError as exc:
+            raise CapacityError(
+                f"batch {self.label!r}: MCU RAM exhausted after "
+                f"{self.sample_count} samples ({exc})"
+            ) from exc
+        self._samples.append(sample)
+        self._bytes += nbytes
+        self.high_water_bytes = max(self.high_water_bytes, self._bytes)
+
+    def flush(self) -> List[SensorSample]:
+        """Release the RAM and hand back the batched samples."""
+        samples, self._samples = self._samples, []
+        self.ram.free(self.label)
+        self._bytes = 0
+        return samples

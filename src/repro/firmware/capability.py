@@ -1,0 +1,76 @@
+"""Offloadability analysis: can this app run on the MCU at all? (§III-B)
+
+The paper's criteria, checked in order:
+
+1. the app must not be heavy-weight (A11's 1.43 GB model),
+2. every sensor's driver must be MCU-friendly (Table I),
+3. code + data must fit the MCU's user RAM,
+4. the slowed-down computation must still meet the window QoS
+   (collection and compute are pipelined across windows, so the compute
+   itself must finish within one window length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..calibration import Calibration, default_calibration
+from ..apps.base import IoTApp
+from ..sensors.specs import get_spec
+
+
+@dataclass
+class OffloadReport:
+    """Outcome of the offloadability check with human-readable reasons."""
+
+    app_name: str
+    offloadable: bool
+    reasons: List[str] = field(default_factory=list)
+    mcu_compute_time_s: float = 0.0
+    required_ram_bytes: int = 0
+
+    def __bool__(self) -> bool:
+        return self.offloadable
+
+
+def check_offloadable(
+    app: IoTApp, cal: Optional[Calibration] = None
+) -> OffloadReport:
+    """Evaluate the paper's four COM feasibility criteria for ``app``."""
+    cal = cal or default_calibration()
+    profile = app.profile
+    reasons: List[str] = []
+
+    if profile.heavy:
+        reasons.append(
+            f"heavy-weight app: needs {profile.mips:.0f}M instructions and "
+            f"{profile.memory_bytes / 2**20:.0f} MiB per window"
+        )
+
+    for sensor_id in profile.sensor_ids:
+        spec = get_spec(sensor_id)
+        if not spec.mcu_friendly:
+            reasons.append(f"sensor {sensor_id} ({spec.name}) is MCU-unfriendly")
+
+    required_ram = profile.mcu_footprint_bytes
+    if required_ram > cal.mcu.ram_bytes:
+        reasons.append(
+            f"needs {required_ram} B of MCU RAM "
+            f"(capacity {cal.mcu.ram_bytes} B)"
+        )
+
+    mcu_time = profile.mcu_compute_time_s(cal)
+    if mcu_time > profile.window_s:
+        reasons.append(
+            f"MCU compute time {mcu_time * 1e3:.1f} ms exceeds the "
+            f"{profile.window_s * 1e3:.0f} ms window (QoS violation)"
+        )
+
+    return OffloadReport(
+        app_name=app.name,
+        offloadable=not reasons,
+        reasons=reasons,
+        mcu_compute_time_s=mcu_time,
+        required_ram_bytes=required_ram,
+    )

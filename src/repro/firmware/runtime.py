@@ -1,0 +1,41 @@
+"""The COM offload runtime: app-specific computation on the MCU core.
+
+The same ``compute()`` implementation the CPU would run executes here —
+functionality is preserved; only the timing (the per-app slowdown factor)
+and the power rail differ.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..apps.base import AppResult, IoTApp, SampleWindow
+from ..hw.board import IoTHub
+from ..hw.mcu import McuState
+from ..hw.power import Routine
+
+
+def run_offloaded_compute(
+    hub: IoTHub,
+    app: IoTApp,
+    window: SampleWindow,
+    idle_routine: str = Routine.IDLE,
+) -> Generator:
+    """Generator: execute one window computation on the MCU.
+
+    Returns the :class:`AppResult`.  The MCU core is busy for the app's
+    slowed-down compute time and the result is produced by the app's real
+    implementation.
+    """
+    duration = app.profile.mcu_compute_time_s(hub.calibration)
+    yield from hub.mcu.core.acquire()
+    result: AppResult = app.compute(window)
+    yield from hub.mcu.execute(
+        duration,
+        Routine.APP_COMPUTE,
+        instructions=app.profile.instructions,
+        after_state=McuState.IDLE,
+        after_routine=idle_routine,
+    )
+    hub.mcu.core.release()
+    return result

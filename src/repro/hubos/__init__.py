@@ -1,0 +1,17 @@
+"""Main-board system software: sleep governor, IRQ service, transfers,
+and the oprofile-style app characterizer."""
+
+from .governor import CpuRestPolicy, SleepGovernor
+from .interrupts import service_interrupt
+from .profiler import CharacterizationRow, characterize_app, characterize_apps
+from .transfer import cpu_transfer
+
+__all__ = [
+    "CharacterizationRow",
+    "CpuRestPolicy",
+    "SleepGovernor",
+    "characterize_app",
+    "characterize_apps",
+    "cpu_transfer",
+    "service_interrupt",
+]

@@ -1,0 +1,24 @@
+"""CPU-side interrupt service: §II-B's 'Interrupt Processing' step."""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..hw.board import IoTHub
+from ..hw.power import Routine
+
+
+def service_interrupt(hub: IoTHub) -> Generator:
+    """Generator: wake (if needed) and run the interrupt-processing path.
+
+    Covers priority check, acknowledgement and the context switch into the
+    driver; the caller must already own the CPU core or call this from the
+    single dispatcher process.
+    """
+    if hub.cpu.asleep:
+        yield from hub.cpu.wake(Routine.INTERRUPT)
+    yield from hub.cpu.core.acquire()
+    yield from hub.cpu.execute(
+        hub.calibration.cpu.interrupt_handling_time_s, Routine.INTERRUPT
+    )
+    hub.cpu.core.release()

@@ -1,0 +1,36 @@
+"""Main-board polling: the CPU blocks on sensor reads (§II-A).
+
+Most low-level sensors have no interrupt support, so with the sensor on
+the main board's PIO bus the CPU issues the read and *busy-waits* until
+the device responds — the full read time at active power.  This module
+is the CPU-side counterpart of :func:`repro.firmware.driver.read_and_decode`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..hw.board import IoTHub
+from ..hw.cpu import CpuState
+from ..hw.power import Routine
+from ..sensors.base import SensorDevice
+from ..units import us
+
+#: CPU time to format and store one polled sample into DRAM.
+STORE_TIME_S = us(20.0)
+
+
+def cpu_blocking_read(hub: IoTHub, device: SensorDevice) -> Generator:
+    """Generator: one blocking sensor read issued by the CPU.
+
+    The CPU core is held busy for the entire device read time (the
+    blocking call of §II-A), then briefly again to decode and store the
+    value.  Returns the :class:`~repro.sensors.base.SensorSample`.
+    """
+    yield from hub.cpu.core.acquire()
+    hub.cpu.psm.set_state(CpuState.BUSY, Routine.DATA_COLLECTION)
+    sample = yield from device.acquire(Routine.DATA_COLLECTION)
+    hub.cpu.psm.set_state(CpuState.BUSY, Routine.DATA_TRANSFER)
+    yield from hub.cpu.execute(STORE_TIME_S, Routine.DATA_TRANSFER)
+    hub.cpu.core.release()
+    return sample

@@ -1,0 +1,69 @@
+"""The oprofile substitute: Figure 6's per-app characterization.
+
+For each app it reports heap/stack usage and the MIPS demand, plus
+measured quantities from actually running one window of the app's real
+computation (sample counts, result payloads).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..apps.base import IoTApp
+from ..apps.offline import collect_window
+from ..calibration import Calibration, default_calibration
+from ..units import to_kib
+
+
+@dataclass(frozen=True)
+class CharacterizationRow:
+    """One bar group of Figure 6."""
+
+    table2_id: str
+    name: str
+    heap_kb: float
+    stack_kb: float
+    mips: float
+    cpu_compute_ms: float
+    mcu_compute_ms: float
+    window_samples: int
+    window_bytes: int
+    host_compute_s: float  # wall time of the real Python computation
+
+    @property
+    def memory_kb(self) -> float:
+        """Total footprint (the figure's stacked bar)."""
+        return self.heap_kb + self.stack_kb
+
+
+def characterize_app(
+    app: IoTApp, cal: Optional[Calibration] = None
+) -> CharacterizationRow:
+    """Profile one app: declared footprint plus one measured window."""
+    cal = cal or default_calibration()
+    window = collect_window(app)
+    started = time.perf_counter()
+    app.compute(window)
+    host_elapsed = time.perf_counter() - started
+    profile = app.profile
+    return CharacterizationRow(
+        table2_id=profile.table2_id,
+        name=profile.name,
+        heap_kb=to_kib(profile.heap_bytes),
+        stack_kb=to_kib(profile.stack_bytes),
+        mips=profile.mips,
+        cpu_compute_ms=profile.cpu_compute_time_s(cal) * 1e3,
+        mcu_compute_ms=profile.mcu_compute_time_s(cal) * 1e3,
+        window_samples=window.total_count,
+        window_bytes=profile.sensor_data_bytes,
+        host_compute_s=host_elapsed,
+    )
+
+
+def characterize_apps(
+    apps: Iterable[IoTApp], cal: Optional[Calibration] = None
+) -> List[CharacterizationRow]:
+    """Profile a set of apps (Figure 6's x axis)."""
+    return [characterize_app(app, cal) for app in apps]

@@ -1,0 +1,30 @@
+"""Hardware models of the IoT hub: CPU, MCU, buses, interrupts, memories.
+
+Each active component owns a :class:`~repro.hw.power.PowerStateMachine` that
+logs every state change into the hub's shared
+:class:`~repro.sim.trace.TimelineRecorder`; energy is integrated offline by
+:mod:`repro.energy.meter`.
+"""
+
+from .power import Routine, PowerStateMachine
+from .cpu import Cpu, CpuState
+from .mcu import Mcu, McuState
+from .bus import PioBus, NetworkInterface
+from .interrupt import InterruptController, InterruptRequest
+from .memory import MemoryRegion
+from .board import IoTHub
+
+__all__ = [
+    "Cpu",
+    "CpuState",
+    "InterruptController",
+    "InterruptRequest",
+    "IoTHub",
+    "Mcu",
+    "McuState",
+    "MemoryRegion",
+    "NetworkInterface",
+    "PioBus",
+    "PowerStateMachine",
+    "Routine",
+]

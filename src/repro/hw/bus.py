@@ -1,0 +1,107 @@
+"""PIO bus and network-interface models.
+
+The PIO bus is the physical MCU<->main-board link (a UART in the paper's
+prototype).  Figure 4's point is that the *physical* transfer is cheap
+(10% of data-transfer energy); the expensive part is the CPU and MCU being
+awake around it, which the CPU/MCU models capture.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..calibration import BoardCalibration, BusCalibration
+from ..errors import BusError
+from ..sim.kernel import Simulator
+from ..sim.process import Delay
+from ..sim.resources import Resource
+from ..sim.trace import TimelineRecorder
+from .power import PowerStateMachine, Routine
+
+
+class PioBus:
+    """Serialized, bandwidth-limited link between the MCU and the CPU."""
+
+    IDLE = "idle"
+    ACTIVE = "active"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        recorder: TimelineRecorder,
+        cal: BusCalibration,
+        name: str = "pio_bus",
+    ):
+        self.sim = sim
+        self.cal = cal
+        self.lock = Resource(name)
+        self.psm = PowerStateMachine(
+            sim,
+            recorder,
+            component=name,
+            states={self.IDLE: 0.0, self.ACTIVE: cal.active_power_w},
+            initial_state=self.IDLE,
+        )
+        self.bytes_transferred = 0
+        self.transfer_count = 0
+
+    def transfer_duration(self, nbytes: int) -> float:
+        """Wire time for one transfer of ``nbytes``."""
+        if nbytes <= 0:
+            raise BusError(f"transfer of {nbytes} bytes")
+        return self.cal.setup_time_s + nbytes / self.cal.bandwidth_bytes_per_s
+
+    def transfer(self, nbytes: int, routine: str = Routine.DATA_TRANSFER) -> Generator:
+        """Generator: occupy the bus for one transfer of ``nbytes``."""
+        duration = self.transfer_duration(nbytes)
+        yield from self.lock.acquire()
+        self.psm.set_state(self.ACTIVE, routine)
+        yield Delay(duration)
+        self.bytes_transferred += nbytes
+        self.transfer_count += 1
+        self.psm.set_state(self.IDLE, Routine.IDLE)
+        self.lock.release()
+
+
+class NetworkInterface:
+    """Uplink (WiFi/Ethernet) used by apps to publish their results."""
+
+    IDLE = "idle"
+    TX = "tx"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        recorder: TimelineRecorder,
+        cal: BoardCalibration,
+        name: str = "nic",
+    ):
+        self.sim = sim
+        self.cal = cal
+        self.lock = Resource(name)
+        self.psm = PowerStateMachine(
+            sim,
+            recorder,
+            component=name,
+            states={self.IDLE: 0.0, self.TX: cal.nic_tx_power_w},
+            initial_state=self.IDLE,
+        )
+        self.bytes_sent = 0
+        self.messages_sent = 0
+
+    def tx_duration(self, nbytes: int) -> float:
+        """Air time for ``nbytes`` of uplink payload."""
+        if nbytes <= 0:
+            raise BusError(f"tx of {nbytes} bytes")
+        return nbytes / self.cal.nic_bandwidth_bytes_per_s
+
+    def send(self, nbytes: int, routine: str = Routine.APP_COMPUTE) -> Generator:
+        """Generator: transmit ``nbytes`` upstream."""
+        duration = self.tx_duration(nbytes)
+        yield from self.lock.acquire()
+        self.psm.set_state(self.TX, routine)
+        yield Delay(duration)
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self.psm.set_state(self.IDLE, Routine.IDLE)
+        self.lock.release()

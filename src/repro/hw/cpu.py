@@ -1,0 +1,141 @@
+"""The main-board CPU model (Raspberry Pi 3B class).
+
+The CPU has five power states:
+
+* ``busy``       — executing instructions (5 W)
+* ``idle``       — online but not executing; the governor kept it awake
+  because the next wake-up is too close for sleeping to pay off (2.5 W)
+* ``sleep``      — shallow sleep, 1.6 ms / 4 mJ away from active (1.5 W)
+* ``deep_sleep`` — power-gated; only entered when the CPU has no upcoming
+  work registered at all, e.g. an idle hub or a fully offloaded app (0.35 W)
+* ``transition`` — waking up (2.5 W for 1.6 ms)
+
+The modelled core is a single execution context guarded by a FIFO
+:class:`~repro.sim.resources.Resource`; multi-app scenarios contend for it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..calibration import CpuCalibration
+from ..errors import HardwareError
+from ..sim.kernel import Simulator
+from ..sim.process import Delay
+from ..sim.resources import Resource
+from ..sim.trace import TimelineRecorder
+from .power import PowerStateMachine
+
+
+class CpuState:
+    """Named CPU power states."""
+
+    BUSY = "busy"
+    IDLE = "idle"
+    SLEEP = "sleep"
+    DEEP_SLEEP = "deep_sleep"
+    TRANSITION = "transition"
+
+
+class Cpu:
+    """Power/timing model of the hub's application processor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        recorder: TimelineRecorder,
+        cal: CpuCalibration,
+        initial_state: str = CpuState.DEEP_SLEEP,
+    ):
+        self.sim = sim
+        self.cal = cal
+        self.core = Resource("cpu.core")
+        self.psm = PowerStateMachine(
+            sim,
+            recorder,
+            component="cpu",
+            states={
+                CpuState.BUSY: cal.active_power_w,
+                CpuState.IDLE: cal.idle_power_w,
+                CpuState.SLEEP: cal.sleep_power_w,
+                CpuState.DEEP_SLEEP: cal.deep_sleep_power_w,
+                CpuState.TRANSITION: cal.transition_power_w,
+            },
+            initial_state=initial_state,
+        )
+        self.wake_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # timing helpers
+    # ------------------------------------------------------------------
+    def compute_time(self, instructions: float) -> float:
+        """Seconds the CPU needs to retire ``instructions``."""
+        if instructions < 0:
+            raise HardwareError(f"negative instruction count: {instructions}")
+        return instructions / (self.cal.mips * 1e6)
+
+    @property
+    def asleep(self) -> bool:
+        """Whether the CPU is in a sleep state (shallow or deep)."""
+        return self.psm.state in (CpuState.SLEEP, CpuState.DEEP_SLEEP)
+
+    # ------------------------------------------------------------------
+    # process-facing generators
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        duration: float,
+        routine: str,
+        instructions: Optional[float] = None,
+        after_state: str = CpuState.IDLE,
+        after_routine: Optional[str] = None,
+    ) -> Generator:
+        """Run busy for ``duration`` seconds attributed to ``routine``.
+
+        The caller must already own :attr:`core`.  Afterwards the CPU drops
+        to ``after_state`` (idle by default; the governor may then decide to
+        sleep).
+        """
+        if self.asleep:
+            raise HardwareError("execute() while asleep; wake() first")
+        self.psm.set_state(CpuState.BUSY, routine)
+        if instructions is None:
+            instructions = duration * self.cal.mips * 1e6
+        self.instructions_retired += instructions
+        if duration > 0:
+            yield Delay(duration)
+        self.psm.set_state(after_state, after_routine or routine)
+
+    def wake(self, routine: str) -> Generator:
+        """Transition from a sleep state to idle.
+
+        Shallow sleep wakes in 1.6 ms at 2.5 W (the paper's 4 mJ); deep
+        sleep pays the longer power-gated exit latency.
+        """
+        if not self.asleep:
+            return
+        duration = (
+            self.cal.deep_transition_time_s
+            if self.psm.state == CpuState.DEEP_SLEEP
+            else self.cal.transition_time_s
+        )
+        self.wake_count += 1
+        self.psm.set_state(CpuState.TRANSITION, routine)
+        yield Delay(duration)
+        self.psm.set_state(CpuState.IDLE, routine)
+
+    def enter_sleep(self, deep: bool, routine: str) -> None:
+        """Drop into (deep) sleep instantaneously.
+
+        The paper charges the whole 4 mJ transition cost on the wake path,
+        so entering sleep is free here.
+        """
+        if self.psm.state == CpuState.BUSY:
+            raise HardwareError("cannot sleep while busy")
+        state = CpuState.DEEP_SLEEP if deep else CpuState.SLEEP
+        self.psm.set_state(state, routine)
+
+    def set_idle(self, routine: str) -> None:
+        """Tag the CPU as awake-but-idle, waiting on ``routine``."""
+        self.psm.set_state(CpuState.IDLE, routine)

@@ -1,0 +1,60 @@
+"""Interrupt controller: the MCU->CPU notification path.
+
+Interrupts are queued (edge-triggered with a latch per request): if the CPU
+is still handling a previous request, later ones wait in FIFO order rather
+than being lost.  ``wait()`` is the CPU-side blocking receive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Generator
+
+from ..sim.kernel import Simulator
+from ..sim.process import Signal, Wait
+
+
+@dataclass(frozen=True)
+class InterruptRequest:
+    """One latched interrupt from the MCU board."""
+
+    time: float
+    source: str
+    vector: str
+    payload: Any = field(default=None, compare=False)
+
+
+class InterruptController:
+    """FIFO interrupt latch between the MCU board and the main board."""
+
+    def __init__(self, sim: Simulator, name: str = "irq"):
+        self.sim = sim
+        self.name = name
+        self._pending: Deque[InterruptRequest] = deque()
+        self._signal = Signal(f"{name}.pending")
+        self.raised_count = 0
+
+    @property
+    def pending_count(self) -> int:
+        """Interrupts latched but not yet consumed."""
+        return len(self._pending)
+
+    def raise_irq(self, source: str, vector: str, payload: Any = None) -> None:
+        """MCU side: latch a request and wake any waiting handler."""
+        request = InterruptRequest(
+            time=self.sim.now, source=source, vector=vector, payload=payload
+        )
+        self._pending.append(request)
+        self.raised_count += 1
+        self._signal.fire(None)
+
+    def wait(self) -> Generator:
+        """CPU side: generator returning the next request (FIFO).
+
+        Multiple concurrent waiters are allowed; each latched request is
+        delivered to exactly one waiter.
+        """
+        while not self._pending:
+            yield Wait(self._signal)
+        return self._pending.popleft()

@@ -1,0 +1,73 @@
+"""Wire-protocol codecs used by the IoT-protocol apps (Table II group 1).
+
+Every codec here is a real, round-trippable implementation built from
+scratch: a JSON subset (arduinoJSON / M2X), a CoAP subset (RFC 7252
+headers + options), the Blynk binary framing, the M2X payload format, and
+the chunk/rolling-hash sync used by the Dropbox-manager app.
+"""
+
+from .blynk import (
+    BlynkCommand,
+    BlynkError,
+    BlynkFrame,
+    decode_frame,
+    decode_stream,
+    encode_frame,
+    ok_response,
+    parse_virtual_write,
+    virtual_write,
+)
+from .coap import (
+    CoapCode,
+    CoapError,
+    CoapMessage,
+    CoapServer,
+    CoapType,
+    decode_message,
+    encode_message,
+)
+from .m2x import M2XBatch, build_update_payload, parse_update_payload
+from .minijson import JsonError, dumps, loads
+from .sync import (
+    DEFAULT_CHUNK_BYTES,
+    ChunkSignature,
+    ChunkStore,
+    FileDelta,
+    chunk_bytes,
+    compute_delta,
+    rolling_checksum,
+    strong_digest,
+)
+
+__all__ = [
+    "BlynkCommand",
+    "BlynkError",
+    "BlynkFrame",
+    "ChunkSignature",
+    "ChunkStore",
+    "CoapCode",
+    "CoapError",
+    "CoapMessage",
+    "CoapServer",
+    "CoapType",
+    "DEFAULT_CHUNK_BYTES",
+    "FileDelta",
+    "JsonError",
+    "M2XBatch",
+    "build_update_payload",
+    "chunk_bytes",
+    "compute_delta",
+    "decode_frame",
+    "decode_message",
+    "decode_stream",
+    "dumps",
+    "encode_frame",
+    "encode_message",
+    "loads",
+    "ok_response",
+    "parse_update_payload",
+    "parse_virtual_write",
+    "rolling_checksum",
+    "strong_digest",
+    "virtual_write",
+]

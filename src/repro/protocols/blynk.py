@@ -1,0 +1,116 @@
+"""Blynk binary framing for the smartphone-interaction app (A5).
+
+Blynk frames are ``(command, message_id, length)`` headers followed by a
+NUL-separated ('\\0') body — e.g. a virtual-pin write is
+``vw\\0<pin>\\0<value>``.  This module implements the framing plus the
+virtual-pin write/read commands the app uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ProtocolError
+
+#: Frame header size: 1-byte command, 2-byte id, 2-byte length.
+HEADER_BYTES = 5
+
+
+class BlynkError(ProtocolError):
+    """Malformed Blynk frame."""
+
+
+class BlynkCommand:
+    """Command codes (subset of the Blynk wire protocol)."""
+
+    RESPONSE = 0
+    LOGIN = 2
+    PING = 6
+    HARDWARE = 20
+
+    #: Status code for OK responses.
+    STATUS_OK = 200
+
+
+@dataclass(frozen=True)
+class BlynkFrame:
+    """One framed Blynk message."""
+
+    command: int
+    message_id: int
+    body: bytes = b""
+
+    def parts(self) -> List[str]:
+        """Split the body on NUL separators."""
+        if not self.body:
+            return []
+        return self.body.decode("utf-8").split("\x00")
+
+
+def encode_frame(frame: BlynkFrame) -> bytes:
+    """Serialize a frame to wire bytes."""
+    if not 0 <= frame.command <= 255:
+        raise BlynkError(f"bad command {frame.command}")
+    if not 0 <= frame.message_id <= 0xFFFF:
+        raise BlynkError(f"bad message id {frame.message_id}")
+    if len(frame.body) > 0xFFFF:
+        raise BlynkError(f"body too long: {len(frame.body)}")
+    return (
+        bytes([frame.command])
+        + frame.message_id.to_bytes(2, "big")
+        + len(frame.body).to_bytes(2, "big")
+        + frame.body
+    )
+
+
+def decode_frame(data: bytes) -> Tuple[BlynkFrame, bytes]:
+    """Parse one frame off the front of ``data``; returns (frame, rest)."""
+    if len(data) < HEADER_BYTES:
+        raise BlynkError("truncated header")
+    command = data[0]
+    message_id = int.from_bytes(data[1:3], "big")
+    length = int.from_bytes(data[3:5], "big")
+    end = HEADER_BYTES + length
+    if len(data) < end:
+        raise BlynkError("truncated body")
+    frame = BlynkFrame(command, message_id, data[HEADER_BYTES:end])
+    return frame, data[end:]
+
+
+def decode_stream(data: bytes) -> List[BlynkFrame]:
+    """Parse a back-to-back sequence of frames."""
+    frames: List[BlynkFrame] = []
+    rest = data
+    while rest:
+        frame, rest = decode_frame(rest)
+        frames.append(frame)
+    return frames
+
+
+def virtual_write(message_id: int, pin: int, value: str) -> BlynkFrame:
+    """A ``vw`` hardware frame updating virtual pin ``pin``."""
+    if pin < 0:
+        raise BlynkError(f"bad virtual pin {pin}")
+    body = f"vw\x00{pin}\x00{value}".encode("utf-8")
+    return BlynkFrame(BlynkCommand.HARDWARE, message_id, body)
+
+
+def parse_virtual_write(frame: BlynkFrame) -> Tuple[int, str]:
+    """Extract (pin, value) from a ``vw`` frame."""
+    parts = frame.parts()
+    if len(parts) != 3 or parts[0] != "vw":
+        raise BlynkError(f"not a virtual write: {parts}")
+    try:
+        return int(parts[1]), parts[2]
+    except ValueError:
+        raise BlynkError(f"bad pin {parts[1]!r}") from None
+
+
+def ok_response(message_id: int) -> BlynkFrame:
+    """Server OK acknowledgement for ``message_id``."""
+    return BlynkFrame(
+        BlynkCommand.RESPONSE,
+        message_id,
+        str(BlynkCommand.STATUS_OK).encode("utf-8"),
+    )

@@ -1,0 +1,241 @@
+"""A CoAP (RFC 7252) subset codec for the CoAP-server app (A1).
+
+Implements the fixed 4-byte header, tokens, delta-encoded options with
+extended deltas/lengths, and the 0xFF payload marker — enough to encode
+and decode real GET/2.05-Content exchanges byte-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ProtocolError
+
+#: Protocol version (the only one defined).
+COAP_VERSION = 1
+#: Payload marker byte.
+PAYLOAD_MARKER = 0xFF
+
+
+class CoapError(ProtocolError):
+    """Malformed CoAP message."""
+
+
+class CoapType:
+    """Message types (RFC 7252 §3)."""
+
+    CONFIRMABLE = 0
+    NON_CONFIRMABLE = 1
+    ACKNOWLEDGEMENT = 2
+    RESET = 3
+
+
+class CoapCode:
+    """Request/response codes as (class, detail) packed into one byte."""
+
+    EMPTY = 0x00
+    GET = 0x01
+    POST = 0x02
+    PUT = 0x03
+    DELETE = 0x04
+    CONTENT = 0x45  # 2.05
+    CHANGED = 0x44  # 2.04
+    NOT_FOUND = 0x84  # 4.04
+    BAD_REQUEST = 0x80  # 4.00
+
+    @staticmethod
+    def dotted(code: int) -> str:
+        """Render a code in the RFC's c.dd form (e.g. 2.05)."""
+        return f"{code >> 5}.{code & 0x1F:02d}"
+
+
+#: Option numbers used by the app.
+OPTION_URI_PATH = 11
+OPTION_CONTENT_FORMAT = 12
+OPTION_URI_QUERY = 15
+OPTION_OBSERVE = 6
+
+
+@dataclass
+class CoapMessage:
+    """One CoAP message: header fields, options, payload."""
+
+    mtype: int
+    code: int
+    message_id: int
+    token: bytes = b""
+    options: List[Tuple[int, bytes]] = field(default_factory=list)
+    payload: bytes = b""
+
+    def uri_path(self) -> str:
+        """Join the Uri-Path options into a path string."""
+        segments = [
+            value.decode("utf-8")
+            for number, value in self.options
+            if number == OPTION_URI_PATH
+        ]
+        return "/" + "/".join(segments)
+
+    @classmethod
+    def get(cls, path: str, message_id: int, token: bytes = b"\x01") -> "CoapMessage":
+        """Build a confirmable GET for ``path``."""
+        options = [
+            (OPTION_URI_PATH, segment.encode("utf-8"))
+            for segment in path.strip("/").split("/")
+            if segment
+        ]
+        return cls(
+            mtype=CoapType.CONFIRMABLE,
+            code=CoapCode.GET,
+            message_id=message_id,
+            token=token,
+            options=options,
+        )
+
+    def reply(self, code: int, payload: bytes) -> "CoapMessage":
+        """Build the piggybacked ACK response to this request."""
+        return CoapMessage(
+            mtype=CoapType.ACKNOWLEDGEMENT,
+            code=code,
+            message_id=self.message_id,
+            token=self.token,
+            options=[(OPTION_CONTENT_FORMAT, b"\x00")],
+            payload=payload,
+        )
+
+
+def _encode_option_part(value: int) -> Tuple[int, bytes]:
+    """Encode an option delta/length nibble with its extended bytes."""
+    if value < 0:
+        raise CoapError(f"negative option field {value}")
+    if value < 13:
+        return value, b""
+    if value < 269:
+        return 13, bytes([value - 13])
+    if value < 65805:
+        extended = value - 269
+        return 14, bytes([extended >> 8, extended & 0xFF])
+    raise CoapError(f"option field too large: {value}")
+
+
+def encode_message(message: CoapMessage) -> bytes:
+    """Serialize a :class:`CoapMessage` to wire bytes."""
+    if not 0 <= message.message_id <= 0xFFFF:
+        raise CoapError(f"message id out of range: {message.message_id}")
+    if len(message.token) > 8:
+        raise CoapError(f"token longer than 8 bytes: {len(message.token)}")
+    if not 0 <= message.mtype <= 3:
+        raise CoapError(f"bad message type {message.mtype}")
+    header = bytearray()
+    header.append((COAP_VERSION << 6) | (message.mtype << 4) | len(message.token))
+    header.append(message.code)
+    header += message.message_id.to_bytes(2, "big")
+    header += message.token
+
+    previous_number = 0
+    for number, value in sorted(message.options, key=lambda opt: opt[0]):
+        delta = number - previous_number
+        delta_nibble, delta_ext = _encode_option_part(delta)
+        length_nibble, length_ext = _encode_option_part(len(value))
+        header.append((delta_nibble << 4) | length_nibble)
+        header += delta_ext + length_ext + value
+        previous_number = number
+
+    if message.payload:
+        header.append(PAYLOAD_MARKER)
+        header += message.payload
+    return bytes(header)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise CoapError("truncated message")
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+
+def _decode_option_part(nibble: int, reader: _Reader) -> int:
+    if nibble < 13:
+        return nibble
+    if nibble == 13:
+        return reader.take(1)[0] + 13
+    if nibble == 14:
+        high, low = reader.take(2)
+        return (high << 8 | low) + 269
+    raise CoapError("reserved option nibble 15")
+
+
+def decode_message(data: bytes) -> CoapMessage:
+    """Parse wire bytes into a :class:`CoapMessage`."""
+    reader = _Reader(data)
+    first, code = reader.take(2)
+    version = first >> 6
+    if version != COAP_VERSION:
+        raise CoapError(f"unsupported version {version}")
+    mtype = (first >> 4) & 0x3
+    token_length = first & 0xF
+    if token_length > 8:
+        raise CoapError(f"bad token length {token_length}")
+    message_id = int.from_bytes(reader.take(2), "big")
+    token = reader.take(token_length)
+
+    options: List[Tuple[int, bytes]] = []
+    payload = b""
+    number = 0
+    while reader.remaining:
+        byte = reader.take(1)[0]
+        if byte == PAYLOAD_MARKER:
+            if reader.remaining == 0:
+                raise CoapError("payload marker with empty payload")
+            payload = reader.take(reader.remaining)
+            break
+        delta = _decode_option_part(byte >> 4, reader)
+        length = _decode_option_part(byte & 0xF, reader)
+        number += delta
+        options.append((number, reader.take(length)))
+    return CoapMessage(
+        mtype=mtype,
+        code=code,
+        message_id=message_id,
+        token=token,
+        options=options,
+        payload=payload,
+    )
+
+
+class CoapServer:
+    """A tiny observe-style resource server keyed by URI path."""
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, bytes] = {}
+        self.request_count = 0
+
+    def publish(self, path: str, payload: bytes) -> None:
+        """Create or update a resource."""
+        self._resources[self._normalize(path)] = payload
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        return "/" + path.strip("/")
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        """Process one encoded request; returns the encoded response."""
+        request = decode_message(request_bytes)
+        self.request_count += 1
+        if request.code != CoapCode.GET:
+            return encode_message(request.reply(CoapCode.BAD_REQUEST, b""))
+        payload = self._resources.get(request.uri_path())
+        if payload is None:
+            return encode_message(request.reply(CoapCode.NOT_FOUND, b""))
+        return encode_message(request.reply(CoapCode.CONTENT, payload))

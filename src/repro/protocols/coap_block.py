@@ -1,0 +1,116 @@
+"""CoAP blockwise transfer (RFC 7959 Block2 subset).
+
+Constrained responses bigger than one datagram are split into blocks:
+the Block2 option value packs ``(block number, more-flag, size
+exponent)``; the client walks the blocks with sequential GETs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ProtocolError
+from .coap import (
+    CoapCode,
+    CoapMessage,
+    CoapServer,
+    decode_message,
+    encode_message,
+)
+
+#: Block2 option number (RFC 7959).
+OPTION_BLOCK2 = 23
+#: Valid block sizes: 2^(szx+4) for szx in 0..6.
+VALID_BLOCK_SIZES = tuple(2 ** (szx + 4) for szx in range(7))
+
+
+def encode_block_option(number: int, more: bool, size: int) -> bytes:
+    """Pack a Block2 value into its minimal byte form."""
+    if size not in VALID_BLOCK_SIZES:
+        raise ProtocolError(f"invalid block size {size}")
+    if number < 0 or number >= 1 << 20:
+        raise ProtocolError(f"block number out of range: {number}")
+    szx = VALID_BLOCK_SIZES.index(size)
+    value = (number << 4) | (0x8 if more else 0x0) | szx
+    if value == 0:
+        return b""
+    length = (value.bit_length() + 7) // 8
+    return value.to_bytes(length, "big")
+
+
+def decode_block_option(data: bytes) -> Tuple[int, bool, int]:
+    """Unpack a Block2 value; returns (number, more, size)."""
+    if len(data) > 3:
+        raise ProtocolError(f"block option too long: {len(data)} bytes")
+    value = int.from_bytes(data, "big")
+    szx = value & 0x7
+    if szx == 7:
+        raise ProtocolError("reserved SZX value 7")
+    return value >> 4, bool(value & 0x8), VALID_BLOCK_SIZES[szx]
+
+
+class BlockwiseServer(CoapServer):
+    """A CoAP server that serves large resources block by block."""
+
+    def __init__(self, block_size: int = 64):
+        super().__init__()
+        if block_size not in VALID_BLOCK_SIZES:
+            raise ProtocolError(f"invalid block size {block_size}")
+        self.block_size = block_size
+
+    def handle(self, request_bytes: bytes) -> bytes:
+        request = decode_message(request_bytes)
+        self.request_count += 1
+        if request.code != CoapCode.GET:
+            return encode_message(request.reply(CoapCode.BAD_REQUEST, b""))
+        payload = self._resources.get(request.uri_path())
+        if payload is None:
+            return encode_message(request.reply(CoapCode.NOT_FOUND, b""))
+        number = 0
+        for option_number, value in request.options:
+            if option_number == OPTION_BLOCK2:
+                number, _, _ = decode_block_option(value)
+        start = number * self.block_size
+        if start >= len(payload) and len(payload) > 0:
+            return encode_message(request.reply(CoapCode.BAD_REQUEST, b""))
+        chunk = payload[start : start + self.block_size]
+        more = start + self.block_size < len(payload)
+        response = request.reply(CoapCode.CONTENT, chunk)
+        response.options.append(
+            (OPTION_BLOCK2, encode_block_option(number, more, self.block_size))
+        )
+        return encode_message(response)
+
+
+def fetch_blockwise(
+    server: BlockwiseServer, path: str, first_message_id: int = 1
+) -> Tuple[bytes, int]:
+    """Client side: GET a resource block by block.
+
+    Returns ``(payload, request_count)``.
+    """
+    collected: List[bytes] = []
+    number = 0
+    message_id = first_message_id
+    while True:
+        request = CoapMessage.get(path, message_id=message_id)
+        request.options.append(
+            (
+                OPTION_BLOCK2,
+                encode_block_option(number, False, server.block_size),
+            )
+        )
+        response = decode_message(server.handle(encode_message(request)))
+        if response.code != CoapCode.CONTENT:
+            raise ProtocolError(
+                f"blockwise GET failed with {CoapCode.dotted(response.code)}"
+            )
+        collected.append(response.payload)
+        more = False
+        for option_number, value in response.options:
+            if option_number == OPTION_BLOCK2:
+                _, more, _ = decode_block_option(value)
+        if not more:
+            return b"".join(collected), number + 1
+        number += 1
+        message_id = (message_id + 1) % 0x10000

@@ -1,0 +1,111 @@
+"""AT&T M2X-style cloud payloads for the M2X app (A4).
+
+M2X devices push batched stream values as a JSON document:
+
+    {"values": {"<stream>": [{"timestamp": ..., "value": ...}, ...]}}
+
+wrapped in an HTTP-like PUT with an API-key header.  This module builds
+and parses those payloads using the in-house JSON codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ProtocolError
+from .minijson import dumps, loads
+
+
+@dataclass
+class M2XBatch:
+    """Accumulates (timestamp, value) points per named stream."""
+
+    device_id: str
+    streams: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def add(self, stream: str, timestamp: float, value: float) -> None:
+        """Append one data point to a stream."""
+        self.streams.setdefault(stream, []).append((timestamp, value))
+
+    @property
+    def point_count(self) -> int:
+        """Total number of points across streams."""
+        return sum(len(points) for points in self.streams.values())
+
+
+def _format_timestamp(timestamp: float) -> str:
+    """Seconds-since-start rendered as a fixed-width pseudo-ISO stamp."""
+    whole = int(timestamp)
+    millis = int(round((timestamp - whole) * 1000))
+    if millis == 1000:
+        whole, millis = whole + 1, 0
+    hours, rem = divmod(whole, 3600)
+    minutes, seconds = divmod(rem, 60)
+    return f"2019-01-01T{hours:02d}:{minutes:02d}:{seconds:02d}.{millis:03d}Z"
+
+
+def build_update_payload(batch: M2XBatch, api_key: str) -> bytes:
+    """Render the batch as an HTTP PUT with a JSON body."""
+    if not batch.device_id:
+        raise ProtocolError("batch has no device id")
+    body = dumps(
+        {
+            "values": {
+                stream: [
+                    {"timestamp": _format_timestamp(ts), "value": value}
+                    for ts, value in points
+                ]
+                for stream, points in sorted(batch.streams.items())
+            }
+        }
+    )
+    request = (
+        f"PUT /v2/devices/{batch.device_id}/updates HTTP/1.1\r\n"
+        f"Host: api-m2x.att.com\r\n"
+        f"X-M2X-KEY: {api_key}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"\r\n"
+        f"{body}"
+    )
+    return request.encode("utf-8")
+
+
+def parse_update_payload(payload: bytes) -> M2XBatch:
+    """Parse a PUT produced by :func:`build_update_payload` (server side)."""
+    text = payload.decode("utf-8")
+    try:
+        headers, body = text.split("\r\n\r\n", 1)
+    except ValueError:
+        raise ProtocolError("missing header/body separator") from None
+    request_line = headers.split("\r\n")[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3 or parts[0] != "PUT":
+        raise ProtocolError(f"bad request line {request_line!r}")
+    path_parts = parts[1].split("/")
+    if len(path_parts) < 4 or path_parts[2] != "devices":
+        raise ProtocolError(f"bad path {parts[1]!r}")
+    device_id = path_parts[3]
+    declared = None
+    for line in headers.split("\r\n")[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            declared = int(value.strip())
+    if declared is not None and declared != len(body):
+        raise ProtocolError(
+            f"content-length mismatch: {declared} != {len(body)}"
+        )
+    document = loads(body)
+    batch = M2XBatch(device_id=device_id)
+    for stream, points in document["values"].items():
+        for point in points:
+            batch.add(stream, _parse_timestamp(point["timestamp"]), point["value"])
+    return batch
+
+
+def _parse_timestamp(stamp: str) -> float:
+    time_part = stamp.split("T")[1].rstrip("Z")
+    clock, _, millis = time_part.partition(".")
+    hours, minutes, seconds = (int(part) for part in clock.split(":"))
+    return hours * 3600 + minutes * 60 + seconds + int(millis) / 1000.0

@@ -1,0 +1,233 @@
+"""A from-scratch JSON subset: the arduinoJSON app's formatting library.
+
+Supports objects, arrays, strings (with escapes), numbers, booleans and
+null — the subset embedded JSON libraries implement.  The app's work is
+string-to-double conversion, buffer writing and parsing, so this module
+deliberately does everything manually instead of importing :mod:`json`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..errors import ProtocolError
+
+
+class JsonError(ProtocolError):
+    """Malformed JSON document or unserializable value."""
+
+
+_ESCAPES = {
+    '"': '\\"',
+    "\\": "\\\\",
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\b": "\\b",
+    "\f": "\\f",
+}
+
+_UNESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+    "b": "\b",
+    "f": "\f",
+    "/": "/",
+}
+
+
+def _encode_string(text: str) -> str:
+    pieces = ['"']
+    for char in text:
+        if char in _ESCAPES:
+            pieces.append(_ESCAPES[char])
+        elif ord(char) < 0x20:
+            pieces.append(f"\\u{ord(char):04x}")
+        else:
+            pieces.append(char)
+    pieces.append('"')
+    return "".join(pieces)
+
+
+def _encode_number(value: float) -> str:
+    if isinstance(value, bool):  # guard: bool is an int subclass
+        raise JsonError("bool reached number encoder")
+    if isinstance(value, int):
+        return str(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        raise JsonError(f"non-finite number {value!r}")
+    text = repr(float(value))
+    return text
+
+
+def dumps(value: Any) -> str:
+    """Serialize ``value`` to a JSON document string."""
+    if value is None:
+        return "null"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return _encode_string(value)
+    if isinstance(value, (int, float)):
+        return _encode_number(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(dumps(item) for item in value) + "]"
+    if isinstance(value, dict):
+        pieces = []
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise JsonError(f"object keys must be strings, got {key!r}")
+            pieces.append(_encode_string(key) + ":" + dumps(item))
+        return "{" + ",".join(pieces) + "}"
+    raise JsonError(f"cannot serialize {type(value).__name__}")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str) -> JsonError:
+        return JsonError(f"{message} at offset {self.pos}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self) -> str:
+        if self.pos >= len(self.text):
+            raise self.error("unexpected end of document")
+        return self.text[self.pos]
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def parse_value(self) -> Any:
+        self.skip_ws()
+        char = self.peek()
+        if char == "{":
+            return self.parse_object()
+        if char == "[":
+            return self.parse_array()
+        if char == '"':
+            return self.parse_string()
+        if char in "-0123456789":
+            return self.parse_number()
+        for literal, value in (("true", True), ("false", False), ("null", None)):
+            if self.text.startswith(literal, self.pos):
+                self.pos += len(literal)
+                return value
+        raise self.error(f"unexpected character {char!r}")
+
+    def parse_object(self) -> dict:
+        self.expect("{")
+        result: dict = {}
+        self.skip_ws()
+        if self.peek() == "}":
+            self.pos += 1
+            return result
+        while True:
+            self.skip_ws()
+            key = self.parse_string()
+            self.skip_ws()
+            self.expect(":")
+            result[key] = self.parse_value()
+            self.skip_ws()
+            if self.peek() == ",":
+                self.pos += 1
+                continue
+            self.expect("}")
+            return result
+
+    def parse_array(self) -> list:
+        self.expect("[")
+        result: list = []
+        self.skip_ws()
+        if self.peek() == "]":
+            self.pos += 1
+            return result
+        while True:
+            result.append(self.parse_value())
+            self.skip_ws()
+            if self.peek() == ",":
+                self.pos += 1
+                continue
+            self.expect("]")
+            return result
+
+    def parse_string(self) -> str:
+        self.expect('"')
+        pieces: List[str] = []
+        while True:
+            char = self.peek()
+            self.pos += 1
+            if char == '"':
+                return "".join(pieces)
+            if char == "\\":
+                escape = self.peek()
+                self.pos += 1
+                if escape == "u":
+                    code = self.text[self.pos : self.pos + 4]
+                    if len(code) < 4:
+                        raise self.error("truncated unicode escape")
+                    try:
+                        pieces.append(chr(int(code, 16)))
+                    except ValueError:
+                        raise self.error(f"bad unicode escape {code!r}")
+                    self.pos += 4
+                elif escape in _UNESCAPES:
+                    pieces.append(_UNESCAPES[escape])
+                else:
+                    raise self.error(f"bad escape \\{escape}")
+            elif ord(char) < 0x20:
+                raise self.error("raw control character in string")
+            else:
+                pieces.append(char)
+
+    def parse_number(self) -> float:
+        start = self.pos
+        if self.peek() == "-":
+            self.pos += 1
+        while self.pos < len(self.text) and self.text[self.pos] in "0123456789":
+            self.pos += 1
+        is_float = False
+        if self.pos < len(self.text) and self.text[self.pos] == ".":
+            is_float = True
+            self.pos += 1
+            while (
+                self.pos < len(self.text) and self.text[self.pos] in "0123456789"
+            ):
+                self.pos += 1
+        if self.pos < len(self.text) and self.text[self.pos] in "eE":
+            is_float = True
+            self.pos += 1
+            if self.pos < len(self.text) and self.text[self.pos] in "+-":
+                self.pos += 1
+            while (
+                self.pos < len(self.text) and self.text[self.pos] in "0123456789"
+            ):
+                self.pos += 1
+        literal = self.text[start : self.pos]
+        if literal in ("", "-"):
+            raise self.error("malformed number")
+        try:
+            return float(literal) if is_float else int(literal)
+        except ValueError:
+            raise self.error(f"malformed number {literal!r}")
+
+
+def loads(text: str) -> Any:
+    """Parse a JSON document string."""
+    parser = _Parser(text)
+    value = parser.parse_value()
+    parser.skip_ws()
+    if parser.pos != len(text):
+        raise parser.error("trailing data after document")
+    return value

@@ -1,0 +1,107 @@
+"""Chunked file sync with rolling checksums (the Dropbox-manager app).
+
+A file is split into fixed-size chunks; each chunk is identified by a fast
+Adler-32-style rolling checksum plus a strong SHA-1 digest.  Computing a
+delta against the previously synced version yields exactly the chunks that
+must be uploaded — rsync's core idea, scaled to MCU-sized logs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+#: Modulus for the Adler-style checksum.
+_ADLER_MOD = 65521
+#: Default chunk size for the app's sensor logs.
+DEFAULT_CHUNK_BYTES = 512
+
+
+def rolling_checksum(chunk: bytes) -> int:
+    """Adler-32-style weak checksum of a chunk."""
+    low, high = 1, 0
+    for byte in chunk:
+        low = (low + byte) % _ADLER_MOD
+        high = (high + low) % _ADLER_MOD
+    return (high << 16) | low
+
+
+def strong_digest(chunk: bytes) -> str:
+    """Strong chunk identity (SHA-1, as rsync uses MD4/MD5-class hashes)."""
+    return hashlib.sha1(chunk).hexdigest()
+
+
+def chunk_bytes(data: bytes, chunk_size: int = DEFAULT_CHUNK_BYTES) -> List[bytes]:
+    """Split data into fixed-size chunks (last one may be short)."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_size}")
+    return [data[pos : pos + chunk_size] for pos in range(0, len(data), chunk_size)]
+
+
+@dataclass(frozen=True)
+class ChunkSignature:
+    """Identity of one chunk: (weak, strong) pair."""
+
+    weak: int
+    strong: str
+
+
+@dataclass
+class FileDelta:
+    """Result of a delta computation: what must be uploaded."""
+
+    total_chunks: int
+    changed_indices: List[int] = field(default_factory=list)
+    upload_bytes: int = 0
+
+    @property
+    def unchanged_chunks(self) -> int:
+        """Chunks the server already has."""
+        return self.total_chunks - len(self.changed_indices)
+
+
+class ChunkStore:
+    """Server-side view: chunk signatures of the last synced version."""
+
+    def __init__(self, chunk_size: int = DEFAULT_CHUNK_BYTES):
+        self.chunk_size = chunk_size
+        self._signatures: Dict[int, ChunkSignature] = {}
+        self.synced_bytes = 0
+        self.sync_count = 0
+
+    def signatures(self) -> Dict[int, ChunkSignature]:
+        """Current signature table by chunk index."""
+        return dict(self._signatures)
+
+    def accept(self, data: bytes) -> None:
+        """Record ``data`` as the new synced version."""
+        self._signatures = {
+            index: ChunkSignature(rolling_checksum(chunk), strong_digest(chunk))
+            for index, chunk in enumerate(chunk_bytes(data, self.chunk_size))
+        }
+        self.synced_bytes = len(data)
+        self.sync_count += 1
+
+
+def compute_delta(
+    data: bytes,
+    previous: Dict[int, ChunkSignature],
+    chunk_size: int = DEFAULT_CHUNK_BYTES,
+) -> FileDelta:
+    """Chunks of ``data`` that differ from the ``previous`` signatures.
+
+    The weak checksum screens first; the strong digest confirms — the weak
+    check is cheap for the common unchanged case, the strong one prevents
+    checksum-collision corruption.
+    """
+    chunks = chunk_bytes(data, chunk_size)
+    delta = FileDelta(total_chunks=len(chunks))
+    for index, chunk in enumerate(chunks):
+        signature = previous.get(index)
+        if signature is not None and signature.weak == rolling_checksum(chunk):
+            if signature.strong == strong_digest(chunk):
+                continue
+        delta.changed_indices.append(index)
+        delta.upload_bytes += len(chunk)
+    return delta

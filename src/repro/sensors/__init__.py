@@ -1,0 +1,27 @@
+"""Sensor models: Table I specifications, devices, synthetic waveforms."""
+
+from .base import DEFAULT_WAVEFORMS, SensorDevice, SensorSample, default_waveform
+from .specs import A11_SOUND_SAMPLE_BYTES, TABLE_I, SensorSpec, get_spec
+from .synthetic import (
+    ConstantWaveform,
+    SlowDriftWaveform,
+    Waveform,
+    pseudo_noise,
+    pseudo_noise_array,
+)
+
+__all__ = [
+    "A11_SOUND_SAMPLE_BYTES",
+    "ConstantWaveform",
+    "DEFAULT_WAVEFORMS",
+    "SensorDevice",
+    "SensorSample",
+    "SensorSpec",
+    "SlowDriftWaveform",
+    "TABLE_I",
+    "Waveform",
+    "default_waveform",
+    "get_spec",
+    "pseudo_noise",
+    "pseudo_noise_array",
+]

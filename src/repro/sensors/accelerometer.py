@@ -1,0 +1,104 @@
+"""Accelerometer waveforms: walking (step counter) and seismic (earthquake).
+
+The accelerometer (S4, ADXL335 class) outputs three int-scaled axes.  The
+paper's step-counter and earthquake apps both consume it at 1 kHz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import Waveform, pseudo_noise
+
+#: Standard gravity in m/s^2, present on the z axis at rest.
+GRAVITY = 9.80665
+
+
+class WalkingWaveform(Waveform):
+    """3-axis acceleration of a person walking at a fixed cadence.
+
+    Each step produces a vertical impact spike plus a lateral sway; the
+    step-detection algorithm should recover ``cadence_hz * duration``
+    steps from it.
+    """
+
+    def __init__(
+        self,
+        cadence_hz: float = 1.8,
+        impact_amplitude: float = 4.0,
+        sway_amplitude: float = 0.8,
+        noise_amplitude: float = 0.25,
+        walking: bool = True,
+        seed: int = 0,
+    ):
+        if cadence_hz <= 0:
+            raise ValueError("cadence must be positive")
+        self.cadence_hz = cadence_hz
+        self.impact_amplitude = impact_amplitude
+        self.sway_amplitude = sway_amplitude
+        self.noise_amplitude = noise_amplitude
+        self.walking = walking
+        self.seed = seed
+
+    def expected_steps(self, duration_s: float) -> int:
+        """Ground truth for tests: steps contained in ``duration_s``."""
+        if not self.walking:
+            return 0
+        return int(self.cadence_hz * duration_s)
+
+    def sample(self, time: float) -> np.ndarray:
+        noise = self.noise_amplitude * pseudo_noise(time, self.seed)
+        if not self.walking:
+            return np.array([noise, noise * 0.5, GRAVITY + noise])
+        phase = 2 * np.pi * self.cadence_hz * time
+        # Sharpened sinusoid: impacts are spiky, not sinusoidal.
+        vertical = self.impact_amplitude * max(0.0, np.sin(phase)) ** 3
+        sway = self.sway_amplitude * np.sin(phase / 2.0)
+        forward = 0.3 * self.sway_amplitude * np.cos(phase)
+        return np.array(
+            [forward + noise, sway + noise * 0.5, GRAVITY + vertical + noise]
+        )
+
+
+class SeismicWaveform(Waveform):
+    """Ground acceleration with an optional earthquake burst.
+
+    Quiet background microtremor; between ``quake_start`` and
+    ``quake_start + quake_duration`` a strong oscillation with an
+    exponentially decaying envelope is superimposed — the STA/LTA trigger
+    in the earthquake app must fire inside that interval and nowhere else.
+    """
+
+    def __init__(
+        self,
+        quake_start_s: float = None,
+        quake_duration_s: float = 2.0,
+        quake_amplitude: float = 3.0,
+        background_amplitude: float = 0.02,
+        seed: int = 0,
+    ):
+        self.quake_start_s = quake_start_s
+        self.quake_duration_s = quake_duration_s
+        self.quake_amplitude = quake_amplitude
+        self.background_amplitude = background_amplitude
+        self.seed = seed
+
+    @property
+    def has_quake(self) -> bool:
+        """Whether this trace contains an earthquake at all."""
+        return self.quake_start_s is not None
+
+    def sample(self, time: float) -> np.ndarray:
+        noise = self.background_amplitude * pseudo_noise(time, self.seed)
+        shake = 0.0
+        if self.has_quake:
+            elapsed = time - self.quake_start_s
+            if 0.0 <= elapsed <= self.quake_duration_s:
+                envelope = np.exp(-elapsed / max(self.quake_duration_s, 1e-9))
+                shake = (
+                    self.quake_amplitude
+                    * envelope
+                    * np.sin(2 * np.pi * 8.0 * elapsed)
+                )
+        lateral = 0.6 * shake + noise
+        return np.array([shake + noise, lateral, GRAVITY + 0.8 * shake + noise])

@@ -1,0 +1,190 @@
+"""Sensor device model: the hardware side of Table I rows.
+
+A :class:`SensorDevice` is a Table I spec bound to a hub and a waveform.
+Reading it is the paper's §II-B Task I-II (availability check + register
+read): the device's rail goes to its read-burst power for ``read_time``;
+the driver's decode step (Task III) runs afterwards on the MCU core and is
+modelled by the firmware layer, not here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..errors import SensorError
+from ..hw.board import IoTHub
+from ..hw.power import Routine
+from ..sim.process import Delay
+from ..sim.resources import Resource
+from .accelerometer import WalkingWaveform
+from .camera import CameraWaveform, HIGHRES_SHAPE
+from .environment import (
+    air_quality_waveform,
+    barometer_waveform,
+    distance_waveform,
+    light_waveform,
+    temperature_waveform,
+)
+from .fingerprint import FingerprintWaveform
+from .pulse import EcgWaveform
+from .sound import AmbientSoundWaveform
+from .specs import SensorSpec, get_spec
+from .synthetic import Waveform, pseudo_noise
+
+
+@dataclass(frozen=True)
+class SensorSample:
+    """One acquired sensor reading.
+
+    ``ok`` is False when the availability checks kept failing and the
+    driver fell back to the last good value (a stale reading).
+    """
+
+    time: float
+    sensor_id: str
+    value: Any
+    nbytes: int
+    seq: int
+    ok: bool = True
+
+
+#: Default waveform per Table I sensor, used when a scenario does not
+#: inject its own.
+DEFAULT_WAVEFORMS: Dict[str, Callable[[], Waveform]] = {
+    "S1": barometer_waveform,
+    "S2": temperature_waveform,
+    "S3": FingerprintWaveform,
+    "S4": WalkingWaveform,
+    "S5": air_quality_waveform,
+    "S6": EcgWaveform,
+    "S7": light_waveform,
+    "S8": AmbientSoundWaveform,
+    "S9": distance_waveform,
+    "S10": CameraWaveform,
+    "S10H": lambda: CameraWaveform(shape=HIGHRES_SHAPE),
+}
+
+
+def default_waveform(sensor_id: str) -> Waveform:
+    """Construct the default waveform for a Table I sensor."""
+    try:
+        factory = DEFAULT_WAVEFORMS[sensor_id]
+    except KeyError:
+        raise SensorError(f"no default waveform for {sensor_id!r}") from None
+    return factory()
+
+
+class SensorDevice:
+    """A physical sensor attached to the MCU board of a hub.
+
+    ``failure_rate`` injects §II-B Task-I availability-check failures: a
+    deterministic pseudo-random fraction of reads fails its checks, costs
+    a check-length burst, and is retried up to :attr:`MAX_RETRIES` times
+    before the driver falls back to the last good value.
+    """
+
+    STANDBY = "standby"
+    READ = "read"
+    #: Driver retry budget per acquisition.
+    MAX_RETRIES = 3
+    #: An availability check costs this fraction of a full read.
+    CHECK_TIME_FRACTION = 0.1
+
+    def __init__(
+        self,
+        hub: IoTHub,
+        spec: SensorSpec,
+        waveform: Optional[Waveform] = None,
+        failure_rate: float = 0.0,
+    ):
+        if not 0.0 <= failure_rate < 1.0:
+            raise SensorError(f"failure rate must be in [0, 1), got {failure_rate}")
+        self.hub = hub
+        self.spec = spec
+        self.waveform = waveform or default_waveform(spec.sensor_id)
+        self.failure_rate = failure_rate
+        self.rail = Resource(f"sensor:{spec.sensor_id}.rail")
+        read_power = (
+            spec.typical_power_w + hub.calibration.mcu.sensor_read_power_w
+        )
+        self.psm = hub.add_component(
+            f"sensor:{spec.sensor_id}",
+            states={self.STANDBY: spec.min_power_w, self.READ: read_power},
+            initial_state=self.STANDBY,
+        )
+        self.read_count = 0
+        self.failed_checks = 0
+        self.stale_samples = 0
+        self._last_good_value: Any = None
+
+    @classmethod
+    def attach(
+        cls,
+        hub: IoTHub,
+        sensor_id: str,
+        waveform: Optional[Waveform] = None,
+        failure_rate: float = 0.0,
+    ) -> "SensorDevice":
+        """Attach a Table I sensor to ``hub`` by id."""
+        return cls(hub, get_spec(sensor_id), waveform, failure_rate)
+
+    def _check_fails(self, attempt: int) -> bool:
+        """Deterministic pseudo-random availability-check outcome."""
+        if self.failure_rate <= 0.0:
+            return False
+        noise = pseudo_noise(
+            self.read_count + attempt * 0.137, seed=hash(self.spec.sensor_id) % 997
+        )
+        return (noise + 1.0) / 2.0 < self.failure_rate
+
+    def acquire(self, routine: str = Routine.DATA_COLLECTION) -> Generator:
+        """Generator: availability checks + one register read.
+
+        Occupies the sensor rail; concurrent readers (two apps polling the
+        same sensor without BEAM) serialize here.  Failed availability
+        checks cost a check-length burst each and are retried; after the
+        retry budget the driver returns the last good value marked stale.
+        Returns a :class:`SensorSample`.
+        """
+        yield from self.rail.acquire()
+        ok = True
+        for attempt in range(self.MAX_RETRIES + 1):
+            if not self._check_fails(attempt):
+                break
+            self.failed_checks += 1
+            self.psm.set_state(self.READ, routine)
+            yield Delay(self.spec.read_time_s * self.CHECK_TIME_FRACTION)
+            self.psm.set_state(self.STANDBY, Routine.IDLE)
+        else:
+            ok = False
+        self.psm.set_state(self.READ, routine)
+        yield Delay(self.spec.read_time_s)
+        now = self.hub.sim.now
+        self.read_count += 1
+        if ok:
+            value = self.waveform.sample(now)
+            self._last_good_value = value
+        else:
+            self.stale_samples += 1
+            value = (
+                self._last_good_value
+                if self._last_good_value is not None
+                else self.waveform.sample(now)
+            )
+        sample = SensorSample(
+            time=now,
+            sensor_id=self.spec.sensor_id,
+            value=value,
+            nbytes=self.spec.sample_bytes,
+            seq=self.read_count,
+            ok=ok,
+        )
+        self.psm.set_state(self.STANDBY, Routine.IDLE)
+        self.rail.release()
+        return sample
+
+    @property
+    def duty_cycle_limit_hz(self) -> float:
+        """Highest poll rate the read time physically allows."""
+        return 1.0 / self.spec.read_time_s

@@ -1,0 +1,65 @@
+"""Environmental waveform presets: S1, S2, S5, S7, S9.
+
+All of these are slow signals relative to their sampling rates, so they
+share :class:`~repro.sensors.synthetic.SlowDriftWaveform` with per-sensor
+physical ranges.
+"""
+
+from __future__ import annotations
+
+from .synthetic import SlowDriftWaveform
+
+
+def barometer_waveform(seed: int = 1) -> SlowDriftWaveform:
+    """Atmospheric pressure in hPa (S1, BMP280 class)."""
+    return SlowDriftWaveform(
+        base=1013.25,
+        drift_amplitude=4.0,
+        drift_period_s=6 * 3600.0,
+        noise_amplitude=0.08,
+        seed=seed,
+    )
+
+
+def temperature_waveform(seed: int = 2) -> SlowDriftWaveform:
+    """Ambient temperature in Celsius (S2, BMP180 class)."""
+    return SlowDriftWaveform(
+        base=22.5,
+        drift_amplitude=3.0,
+        drift_period_s=24 * 3600.0,
+        noise_amplitude=0.05,
+        seed=seed,
+    )
+
+
+def air_quality_waveform(seed: int = 5) -> SlowDriftWaveform:
+    """CO2-equivalent in ppm (S5, CCS811 class)."""
+    return SlowDriftWaveform(
+        base=600.0,
+        drift_amplitude=150.0,
+        drift_period_s=1800.0,
+        noise_amplitude=8.0,
+        seed=seed,
+    )
+
+
+def light_waveform(seed: int = 7) -> SlowDriftWaveform:
+    """Illuminance in lux (S7, BH1750 class)."""
+    return SlowDriftWaveform(
+        base=320.0,
+        drift_amplitude=250.0,
+        drift_period_s=12 * 3600.0,
+        noise_amplitude=4.0,
+        seed=seed,
+    )
+
+
+def distance_waveform(seed: int = 9) -> SlowDriftWaveform:
+    """Ultrasonic range in cm (S9, PING class)."""
+    return SlowDriftWaveform(
+        base=120.0,
+        drift_amplitude=40.0,
+        drift_period_s=60.0,
+        noise_amplitude=1.5,
+        seed=seed,
+    )

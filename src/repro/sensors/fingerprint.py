@@ -1,0 +1,58 @@
+"""Fingerprint sensor (S3) waveform: 512-byte signature templates.
+
+The fingerprint-register app (A10) enrolls and matches signatures.  A
+signature here is a deterministic 512-byte feature vector per person, with
+per-scan jitter small enough that the matcher's similarity threshold
+separates same-person from different-person scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import Waveform
+
+#: Signature size from Table I.
+SIGNATURE_BYTES = 512
+
+
+def person_template(person_id: int) -> np.ndarray:
+    """The canonical 512-byte signature of ``person_id``."""
+    rng = np.random.default_rng(1000 + person_id)
+    return rng.integers(0, 256, size=SIGNATURE_BYTES, dtype=np.uint8)
+
+
+def scan_of(person_id: int, scan_seed: int = 0, jitter: int = 6) -> np.ndarray:
+    """One noisy scan of a person's finger.
+
+    ``jitter`` bytes are perturbed per scan — well under the matcher's
+    Hamming-style threshold, but nonzero so exact-equality matching would
+    fail (as it would in reality).
+    """
+    template = person_template(person_id).copy()
+    rng = np.random.default_rng(7000 + person_id * 131 + scan_seed)
+    positions = rng.choice(SIGNATURE_BYTES, size=jitter, replace=False)
+    template[positions] = rng.integers(0, 256, size=jitter, dtype=np.uint8)
+    return template
+
+
+class FingerprintWaveform(Waveform):
+    """Scans of a rotating set of people, one per acquisition window."""
+
+    def __init__(self, person_ids=(0, 1, 2), scans_per_person: int = 1):
+        if not person_ids:
+            raise ValueError("need at least one person")
+        self.person_ids = tuple(person_ids)
+        self.scans_per_person = scans_per_person
+
+    def person_at(self, time: float) -> int:
+        """Which person's finger is on the sensor at ``time``."""
+        slot = int(time) // max(1, self.scans_per_person)
+        return self.person_ids[slot % len(self.person_ids)]
+
+    def scan_at(self, time: float) -> np.ndarray:
+        """The 512-byte scan captured at ``time``."""
+        return scan_of(self.person_at(time), scan_seed=int(time))
+
+    def sample(self, time: float) -> np.ndarray:
+        return np.array([float(self.person_at(time))])

@@ -1,0 +1,67 @@
+"""Pulse (photoplethysmogram) waveform for the heartbeat app (S6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .synthetic import Waveform, pseudo_noise
+
+
+class EcgWaveform(Waveform):
+    """Periodic heartbeat pulses with optional rhythm irregularity.
+
+    Beats are narrow Gaussian pulses.  With ``irregular=True`` every third
+    beat is displaced by ``irregularity`` of the beat period — enough to
+    push the RMSSD metric over the heartbeat app's arrhythmia threshold.
+    """
+
+    def __init__(
+        self,
+        heart_rate_bpm: float = 72.0,
+        pulse_width_s: float = 0.04,
+        amplitude: float = 1.0,
+        irregular: bool = False,
+        irregularity: float = 0.35,
+        noise_amplitude: float = 0.03,
+        seed: int = 0,
+    ):
+        if heart_rate_bpm <= 0:
+            raise ValueError("heart rate must be positive")
+        if not 0 <= irregularity < 0.5:
+            raise ValueError("irregularity must be in [0, 0.5)")
+        self.heart_rate_bpm = heart_rate_bpm
+        self.period_s = 60.0 / heart_rate_bpm
+        self.pulse_width_s = pulse_width_s
+        self.amplitude = amplitude
+        self.irregular = irregular
+        self.irregularity = irregularity
+        self.noise_amplitude = noise_amplitude
+        self.seed = seed
+
+    def beat_times(self, duration_s: float) -> np.ndarray:
+        """Ground-truth beat instants within ``[0, duration_s)``."""
+        count = int(duration_s / self.period_s) + 2
+        times = np.arange(count) * self.period_s
+        if self.irregular:
+            shifts = np.where(
+                np.arange(count) % 3 == 2, self.irregularity * self.period_s, 0.0
+            )
+            times = times + shifts
+        return times[times < duration_s]
+
+    def sample(self, time: float) -> np.ndarray:
+        # Find the nearest beats around `time` (at most two can contribute).
+        base_index = int(time / self.period_s)
+        value = 0.0
+        for index in (base_index - 1, base_index, base_index + 1):
+            if index < 0:
+                continue
+            beat = index * self.period_s
+            if self.irregular and index % 3 == 2:
+                beat += self.irregularity * self.period_s
+            offset = time - beat
+            value += self.amplitude * np.exp(
+                -0.5 * (offset / self.pulse_width_s) ** 2
+            )
+        value += self.noise_amplitude * pseudo_noise(time, self.seed)
+        return np.array([value])

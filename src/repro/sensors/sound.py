@@ -1,0 +1,109 @@
+"""Sound waveforms (S8): ambient audio and synthetic spoken words.
+
+The speech-to-text app (A11) matches MFCC features against word templates;
+this module synthesizes distinguishable 'words' as formant chirp patterns.
+Each word has a distinct (start, end) frequency trajectory pair, so the
+MFCC+DTW pipeline can genuinely tell them apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .synthetic import Waveform, pseudo_noise
+
+#: Formant trajectories per vocabulary word: two chirps (Hz start -> end).
+#: All frequencies sit below 460 Hz so the words survive the sound sensor's
+#: 1 kHz sampling rate (Table I QoS for S8) without aliasing.
+VOCABULARY: Dict[str, Tuple[Tuple[float, float], Tuple[float, float]]] = {
+    "on": ((120.0, 90.0), (420.0, 330.0)),
+    "off": ((90.0, 160.0), (280.0, 440.0)),
+    "open": ((150.0, 75.0), (440.0, 200.0)),
+    "close": ((75.0, 210.0), (200.0, 460.0)),
+    "stop": ((200.0, 200.0), (350.0, 350.0)),
+    "start": ((60.0, 180.0), (460.0, 240.0)),
+}
+
+
+class AmbientSoundWaveform(Waveform):
+    """Background noise with occasional level bumps (doors, traffic)."""
+
+    def __init__(self, level: float = 0.1, bump_period_s: float = 7.0, seed: int = 0):
+        self.level = level
+        self.bump_period_s = bump_period_s
+        self.seed = seed
+
+    def sample(self, time: float) -> np.ndarray:
+        noise = self.level * pseudo_noise(time, self.seed)
+        bump_phase = (time % self.bump_period_s) / self.bump_period_s
+        bump = 0.5 * self.level if bump_phase < 0.05 else 0.0
+        return np.array([noise + bump])
+
+
+class SpokenWordWaveform(Waveform):
+    """A sequence of vocabulary words, one per second, then silence.
+
+    ``words`` is the ground truth the recognizer must recover.
+    """
+
+    def __init__(
+        self,
+        words: List[str],
+        word_duration_s: float = 0.6,
+        gap_s: float = 0.4,
+        amplitude: float = 1.0,
+        noise_amplitude: float = 0.02,
+        seed: int = 0,
+    ):
+        unknown = [word for word in words if word not in VOCABULARY]
+        if unknown:
+            raise ValueError(f"words not in vocabulary: {unknown}")
+        self.words = list(words)
+        self.word_duration_s = word_duration_s
+        self.gap_s = gap_s
+        self.amplitude = amplitude
+        self.noise_amplitude = noise_amplitude
+        self.seed = seed
+
+    @property
+    def slot_s(self) -> float:
+        """Length of one word slot (utterance plus trailing gap)."""
+        return self.word_duration_s + self.gap_s
+
+    def word_at(self, time: float) -> Optional[Tuple[str, float]]:
+        """The (word, progress in [0,1]) being uttered at ``time``."""
+        slot = int(time / self.slot_s)
+        if slot < 0 or slot >= len(self.words):
+            return None
+        offset = time - slot * self.slot_s
+        if offset >= self.word_duration_s:
+            return None
+        return self.words[slot], offset / self.word_duration_s
+
+    def sample(self, time: float) -> np.ndarray:
+        noise = self.noise_amplitude * pseudo_noise(time, self.seed)
+        uttered = self.word_at(time)
+        if uttered is None:
+            return np.array([noise])
+        word, progress = uttered
+        (f1_start, f1_end), (f2_start, f2_end) = VOCABULARY[word]
+        f1 = f1_start + (f1_end - f1_start) * progress
+        f2 = f2_start + (f2_end - f2_start) * progress
+        local = time - int(time / self.slot_s) * self.slot_s
+        envelope = np.sin(np.pi * progress)  # fade in/out
+        value = (
+            0.7 * np.sin(2 * np.pi * f1 * local)
+            + 0.3 * np.sin(2 * np.pi * f2 * local)
+        )
+        return np.array([self.amplitude * envelope * value + noise])
+
+
+def synthesize_word(
+    word: str, sample_rate_hz: float, duration_s: float = 0.6, seed: int = 0
+) -> np.ndarray:
+    """Standalone PCM rendering of one vocabulary word (template source)."""
+    waveform = SpokenWordWaveform([word], word_duration_s=duration_s, seed=seed)
+    count = int(sample_rate_hz * duration_s)
+    return waveform.window(0.0, sample_rate_hz, count)[:, 0]

@@ -1,0 +1,136 @@
+"""Sensor specifications from Table I of the paper.
+
+Every number here is read straight from Table I: bus type, read time,
+min/typical/max power, output type and size, maximum sampling rate and the
+app-required QoS sampling rate.  ``S10`` exists in a low-resolution
+(MCU-friendly) and a high-resolution (MCU-unfriendly) variant, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import SensorError
+from ..units import mw, ms
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Static description of one sensor (a row of Table I)."""
+
+    sensor_id: str
+    name: str
+    bus: str
+    read_time_s: float
+    min_power_w: float
+    typical_power_w: float
+    max_power_w: float
+    output_type: str
+    sample_bytes: int
+    max_rate_hz: Optional[float]
+    qos_rate_hz: Optional[float]
+    #: Whether the sensor's driver fits the MCU (Table I: only the
+    #: high-resolution image sensor does not).
+    mcu_friendly: bool = True
+
+    def __post_init__(self) -> None:
+        if self.read_time_s <= 0:
+            raise SensorError(f"{self.sensor_id}: non-positive read time")
+        if not (
+            0 <= self.min_power_w <= self.typical_power_w <= self.max_power_w
+        ):
+            raise SensorError(f"{self.sensor_id}: power ordering violated")
+        if self.sample_bytes <= 0:
+            raise SensorError(f"{self.sensor_id}: non-positive sample size")
+        if self.qos_rate_hz is not None and self.max_rate_hz is not None:
+            if self.qos_rate_hz > self.max_rate_hz:
+                raise SensorError(
+                    f"{self.sensor_id}: QoS rate exceeds the max rate"
+                )
+
+    @property
+    def effective_qos_hz(self) -> float:
+        """QoS rate used by workloads; on-demand sensors count as 1 Hz
+        (one acquisition per user-level computation window)."""
+        return self.qos_rate_hz if self.qos_rate_hz is not None else 1.0
+
+    def samples_per_window(self, window_s: float) -> int:
+        """Number of acquisitions an app needs over one window."""
+        return max(1, int(round(self.effective_qos_hz * window_s)))
+
+
+def _spec(
+    sensor_id: str,
+    name: str,
+    bus: str,
+    read_ms: float,
+    powers_mw: Tuple[float, float, float],
+    output_type: str,
+    sample_bytes: int,
+    max_rate_hz: Optional[float],
+    qos_rate_hz: Optional[float],
+    mcu_friendly: bool = True,
+) -> SensorSpec:
+    low, typical, high = powers_mw
+    return SensorSpec(
+        sensor_id=sensor_id,
+        name=name,
+        bus=bus,
+        read_time_s=ms(read_ms),
+        min_power_w=mw(low),
+        typical_power_w=mw(typical),
+        max_power_w=mw(high),
+        output_type=output_type,
+        sample_bytes=sample_bytes,
+        max_rate_hz=max_rate_hz,
+        qos_rate_hz=qos_rate_hz,
+        mcu_friendly=mcu_friendly,
+    )
+
+
+#: Table I, row by row.  S10 low-res sized so that one frame is the paper's
+#: 23.81 KB (A9's "Sensor Data" column): 24384 B = a 127x64 8-bit frame
+#: plus a 2-byte header -> we use 24384 B and a 96x254 layout elsewhere.
+TABLE_I: Dict[str, SensorSpec] = {
+    spec.sensor_id: spec
+    for spec in (
+        _spec("S1", "Barometer", "SPI", 37.5, (2.12, 19.47, 28.93), "double", 8, 157.0, 10.0),
+        _spec("S2", "Temperature", "I2C", 18.75, (1.0, 13.5, 20.0), "double", 8, 120.0, 10.0),
+        _spec("S3", "Fingerprint", "TTL-serial", 850.0, (432.0, 600.0, 900.0), "signature", 512, None, None),
+        _spec("S4", "Accelerometer", "Analog", 0.5, (0.63, 1.3, 1.75), "int3", 12, 1e6, 1000.0),
+        _spec("S5", "AirQuality", "I2C", 0.96, (1.2, 30.0, 46.0), "int", 4, 400.0, 200.0),
+        _spec("S6", "Pulse", "Analog", 0.1, (9.9, 15.0, 22.0), "int", 4, 1e6, 1000.0),
+        _spec("S7", "Light", "I2C", 0.1, (16.8, 21.0, 25.2), "double", 8, 4e5, 1000.0),
+        _spec("S8", "Sound", "Analog", 0.1, (16.0, 40.0, 96.0), "int", 4, 1e6, 1000.0),
+        _spec("S9", "Distance", "Analog", 0.2, (120.0, 150.0, 175.0), "double", 8, 5000.0, 1000.0),
+        _spec("S10", "LowResImage", "TTL-serial", 183.64, (30.0, 125.0, 140.0), "rgb", 24_384, None, None),
+        _spec(
+            "S10H",
+            "HighResImage",
+            "Camera-serial",
+            500.0,
+            (382.0, 425.0, 700.0),
+            "rgb",
+            619_000,
+            None,
+            None,
+            mcu_friendly=False,
+        ),
+    )
+}
+
+
+def get_spec(sensor_id: str) -> SensorSpec:
+    """Look up a Table I sensor by id (``S1`` ... ``S10``, ``S10H``)."""
+    try:
+        return TABLE_I[sensor_id]
+    except KeyError:
+        raise SensorError(f"unknown sensor id {sensor_id!r}") from None
+
+
+#: Audio sample size used by the heavy-weight A11 app (16-bit PCM plus a
+#: 4-byte timestamp -> 6 B/sample, matching Table II's 5.86 KB for 1000
+#: samples).
+A11_SOUND_SAMPLE_BYTES = 6

@@ -1,0 +1,85 @@
+"""Deterministic synthetic waveforms standing in for physical phenomena.
+
+Each waveform is a pure function of time (plus its constructor parameters),
+so a sensor read at time ``t`` returns the same value no matter how many
+apps sample it or in which order — exactly like a physical signal, and
+essential for BEAM's shared-sensor semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pseudo_noise(time: float, seed: int = 0) -> float:
+    """Deterministic noise in [-1, 1] as a pure function of time.
+
+    A hash-folded sine — the classic shader trick — so no RNG state is
+    carried between calls.
+    """
+    raw = np.sin(time * 127.1 + seed * 311.7) * 43758.5453123
+    return float(2.0 * (raw - np.floor(raw)) - 1.0)
+
+
+def pseudo_noise_array(times: np.ndarray, seed: int = 0) -> np.ndarray:
+    """Vectorized :func:`pseudo_noise`."""
+    raw = np.sin(np.asarray(times) * 127.1 + seed * 311.7) * 43758.5453123
+    return 2.0 * (raw - np.floor(raw)) - 1.0
+
+
+class Waveform:
+    """Base class: a deterministic, continuous-time signal."""
+
+    def sample(self, time: float) -> np.ndarray:
+        """Instantaneous value at ``time`` (shape depends on the signal)."""
+        raise NotImplementedError
+
+    def window(self, start: float, rate_hz: float, count: int) -> np.ndarray:
+        """``count`` samples from ``start`` at ``rate_hz`` (rows = samples)."""
+        if rate_hz <= 0:
+            raise ValueError(f"rate must be positive, got {rate_hz}")
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        times = start + np.arange(count) / rate_hz
+        return np.array([self.sample(float(t)) for t in times])
+
+
+class ConstantWaveform(Waveform):
+    """A fixed value — useful as a test double."""
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def sample(self, time: float) -> np.ndarray:
+        return np.array([self.value])
+
+
+class SlowDriftWaveform(Waveform):
+    """Slowly varying scalar: diurnal-style drift plus small noise.
+
+    Models temperature, pressure, ambient light, air quality, distance —
+    anything whose dynamics are far below the sampling rate.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        drift_amplitude: float = 1.0,
+        drift_period_s: float = 3600.0,
+        noise_amplitude: float = 0.05,
+        seed: int = 0,
+    ):
+        if drift_period_s <= 0:
+            raise ValueError("drift period must be positive")
+        self.base = base
+        self.drift_amplitude = drift_amplitude
+        self.drift_period_s = drift_period_s
+        self.noise_amplitude = noise_amplitude
+        self.seed = seed
+
+    def sample(self, time: float) -> np.ndarray:
+        drift = self.drift_amplitude * np.sin(
+            2 * np.pi * time / self.drift_period_s
+        )
+        noise = self.noise_amplitude * pseudo_noise(time, self.seed)
+        return np.array([self.base + drift + noise])

@@ -1,0 +1,73 @@
+"""Event objects and the time-ordered event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from ..errors import SchedulingError
+
+
+class Event:
+    """A callback scheduled at a point in virtual time.
+
+    Events are ordered by ``(time, seq)``: the sequence number makes ordering
+    of same-time events deterministic (FIFO in scheduling order), which keeps
+    simulations reproducible.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} seq={self.seq}{flag}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects keyed on ``(time, seq)``."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its event."""
+        if time != time:  # NaN guard
+            raise SchedulingError("event time is NaN")
+        event = Event(time, next(self._counter), callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest non-cancelled event."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        raise SchedulingError("pop from an empty event queue")
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,168 @@
+"""Generator-based processes and their synchronization primitives.
+
+A process is a generator that yields *commands*:
+
+* ``yield Delay(dt)``      — resume after ``dt`` seconds of virtual time.
+* ``yield Wait(signal)``   — block until ``signal.fire(payload)``; the
+  ``yield`` expression evaluates to the payload.
+* ``yield Join(process)``  — block until another process finishes; evaluates
+  to that process's return value.
+
+Processes may also ``return`` a value, retrievable via :attr:`Process.result`
+once :attr:`Process.finished` is true.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+
+class Delay:
+    """Command: suspend the process for ``duration`` seconds."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise SimulationError(f"negative delay: {duration!r}")
+        self.duration = duration
+
+
+class Signal:
+    """A broadcast wake-up channel.
+
+    Processes block on it with ``yield Wait(signal)``; ``fire(payload)``
+    wakes every current waiter and hands each the payload.  Waiters that
+    subscribe after a fire do not see past payloads (it is a pure event, not
+    a mailbox — see :class:`repro.hw.interrupt.InterruptController` for a
+    queued flavour built on top).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: List["Process"] = []
+        self.fire_count = 0
+
+    def add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+    def remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+    def fire(self, payload: Any = None) -> int:
+        """Wake all waiters; returns how many processes were woken."""
+        self.fire_count += 1
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process.wake(payload)
+        return len(waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Signal {self.name!r} waiters={len(self._waiters)}>"
+
+
+class Wait:
+    """Command: block until the given :class:`Signal` fires."""
+
+    __slots__ = ("signal",)
+
+    def __init__(self, signal: Signal):
+        self.signal = signal
+
+
+class Join:
+    """Command: block until ``process`` finishes; evaluates to its result."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process"):
+        self.process = process
+
+
+class Process:
+    """Driver for one generator coroutine inside a :class:`Simulator`."""
+
+    _ids = 0
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Any, Any, Any],
+        name: Optional[str] = None,
+    ):
+        Process._ids += 1
+        self.sim = sim
+        self.generator = generator
+        self.name = name or f"process-{Process._ids}"
+        self.finished = False
+        self.result: Any = None
+        self.finish_time: Optional[float] = None
+        self._completion = Signal(f"{self.name}.done")
+        self._waiting_on: Optional[Signal] = None
+
+    def start(self) -> None:
+        """Schedule the first step of the generator at the current time."""
+        self.sim.schedule(0.0, lambda: self._advance(None))
+
+    def wake(self, payload: Any = None) -> None:
+        """Resume a process blocked on a signal, delivering ``payload``."""
+        self._waiting_on = None
+        self._advance(payload)
+
+    def _advance(self, value: Any) -> None:
+        if self.finished:
+            raise SimulationError(f"{self.name} resumed after finishing")
+        try:
+            command = self.generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if isinstance(command, Delay):
+            self.sim.schedule(command.duration, lambda: self._advance(None))
+        elif isinstance(command, Wait):
+            self._waiting_on = command.signal
+            command.signal.add_waiter(self)
+        elif isinstance(command, Join):
+            target = command.process
+            if target.finished:
+                self.sim.schedule(0.0, lambda: self._advance(target.result))
+            else:
+                target._completion.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"{self.name} yielded unsupported command {command!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self.finish_time = self.sim.now
+        self._completion.fire(result)
+
+    def interrupt(self) -> None:
+        """Abandon the process (used by failure-injection tests)."""
+        if self.finished:
+            return
+        if self._waiting_on is not None:
+            self._waiting_on.remove_waiter(self)
+            self._waiting_on = None
+        self.generator.close()
+        self._finish(None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def all_finished(processes: Tuple[Process, ...]) -> bool:
+    """True when every process in the tuple has completed."""
+    return all(process.finished for process in processes)

@@ -1,0 +1,91 @@
+"""Unit conventions and conversion helpers.
+
+The whole library uses SI base units internally:
+
+* time    — seconds (``float``)
+* power   — watts
+* energy  — joules
+* data    — bytes (``int``)
+* rates   — hertz
+
+These helpers exist so call sites can state their intent
+(``ms(1.6)`` reads better than ``0.0016``) and so tests can assert
+round-trips.
+"""
+
+from __future__ import annotations
+
+#: One millisecond in seconds.
+MILLISECOND = 1e-3
+#: One microsecond in seconds.
+MICROSECOND = 1e-6
+#: One nanosecond in seconds.
+NANOSECOND = 1e-9
+#: One millijoule in joules.
+MILLIJOULE = 1e-3
+#: One milliwatt in watts.
+MILLIWATT = 1e-3
+#: One kibibyte in bytes.
+KIB = 1024
+#: One mebibyte in bytes.
+MIB = 1024 * 1024
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANOSECOND
+
+
+def to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds / MILLISECOND
+
+
+def mw(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * MILLIWATT
+
+
+def to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MILLIWATT
+
+
+def mj(value: float) -> float:
+    """Convert millijoules to joules."""
+    return value * MILLIJOULE
+
+
+def to_mj(joules: float) -> float:
+    """Convert joules to millijoules."""
+    return joules / MILLIJOULE
+
+
+def kib(value: float) -> int:
+    """Convert kibibytes to bytes (rounded to an integral byte count)."""
+    return int(round(value * KIB))
+
+
+def to_kib(nbytes: float) -> float:
+    """Convert bytes to kibibytes."""
+    return nbytes / KIB
+
+
+def khz(value: float) -> float:
+    """Convert kilohertz to hertz."""
+    return value * 1e3
+
+
+def mhz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6

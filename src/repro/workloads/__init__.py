@@ -1,0 +1,15 @@
+"""Workload definitions: Table II rendering and Figure 11's combinations."""
+
+from .combos import FIG11_COMBOS, HEAVY_SCENARIOS, shared_sensors
+from .generator import SyntheticApp, make_synthetic_app
+from .table2 import table1_rows, table2_rows
+
+__all__ = [
+    "FIG11_COMBOS",
+    "HEAVY_SCENARIOS",
+    "SyntheticApp",
+    "make_synthetic_app",
+    "shared_sensors",
+    "table1_rows",
+    "table2_rows",
+]

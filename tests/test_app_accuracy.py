@@ -1,0 +1,170 @@
+"""Functional accuracy sweeps: the apps' algorithms work across their
+operating ranges, not just at one lucky parameter point."""
+
+import numpy as np
+import pytest
+
+from repro.apps import create_app
+from repro.apps.offline import collect_window
+from repro.sensors.accelerometer import SeismicWaveform, WalkingWaveform
+from repro.sensors.camera import CameraWaveform, render_scene
+from repro.sensors.fingerprint import FingerprintWaveform
+from repro.sensors.pulse import EcgWaveform
+from repro.sensors.sound import SpokenWordWaveform, VOCABULARY
+
+
+# ----------------------------------------------------------------------
+# step counter: cadence sweep
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cadence", [1.2, 1.5, 1.8, 2.2, 2.6])
+def test_stepcounter_accuracy_across_cadences(cadence):
+    app = create_app("A2")
+    waveform = WalkingWaveform(cadence_hz=cadence)
+    total_steps = 0
+    windows = 4
+    for index in range(windows):
+        window = collect_window(
+            app, window_index=index, start_s=float(index),
+            waveforms={"S4": waveform},
+        )
+        total_steps += app.compute(window).payload["steps"]
+    expected = waveform.expected_steps(float(windows))
+    assert total_steps == pytest.approx(expected, abs=2)
+
+
+@pytest.mark.parametrize("noise", [0.1, 0.25, 0.5])
+def test_stepcounter_noise_robustness(noise):
+    app = create_app("A2")
+    waveform = WalkingWaveform(cadence_hz=2.0, noise_amplitude=noise)
+    window = collect_window(app, waveforms={"S4": waveform})
+    assert app.compute(window).payload["steps"] == pytest.approx(2, abs=1)
+
+
+# ----------------------------------------------------------------------
+# heartbeat: rate sweep and irregularity threshold
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("bpm", [52.0, 64.0, 80.0, 96.0, 110.0])
+def test_heartbeat_bpm_accuracy(bpm):
+    app = create_app("A8")
+    window = collect_window(app, waveforms={"S6": EcgWaveform(heart_rate_bpm=bpm)})
+    result = app.compute(window)
+    assert result.payload["bpm"] == pytest.approx(bpm, rel=0.12)
+    assert not result.payload["irregular"]
+
+
+@pytest.mark.parametrize("irregularity,expected", [(0.0, False), (0.3, True), (0.45, True)])
+def test_heartbeat_irregularity_threshold(irregularity, expected):
+    app = create_app("A8")
+    waveform = EcgWaveform(
+        heart_rate_bpm=72.0,
+        irregular=irregularity > 0,
+        irregularity=irregularity if irregularity > 0 else 0.35,
+    )
+    window = collect_window(app, waveforms={"S6": waveform})
+    assert app.compute(window).payload["irregular"] is expected
+
+
+# ----------------------------------------------------------------------
+# earthquake: amplitude sweep (detection threshold behaviour)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("amplitude,expected", [
+    (0.05, False),   # microtremor: below trigger
+    (1.5, True),
+    (3.0, True),
+    (8.0, True),
+])
+def test_earthquake_amplitude_threshold(amplitude, expected):
+    app = create_app("A7")
+    quake = SeismicWaveform(
+        quake_start_s=0.6, quake_duration_s=0.3, quake_amplitude=amplitude
+    )
+    window = collect_window(app, waveforms={"S4": quake})
+    assert app.compute(window).payload["triggered"] is expected
+
+
+def test_earthquake_no_false_positives_over_many_quiet_windows():
+    app = create_app("A7")
+    background = SeismicWaveform()
+    for index in range(5):
+        window = collect_window(
+            app, window_index=index, start_s=float(index),
+            waveforms={"S4": background},
+        )
+        assert not app.compute(window).payload["triggered"]
+    assert app.detections == 0
+
+
+# ----------------------------------------------------------------------
+# speech: full-vocabulary recognition and sequences
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("word", sorted(VOCABULARY))
+def test_speech_every_vocabulary_word(word):
+    app = create_app("A11")
+    window = collect_window(app, waveforms={"S8": SpokenWordWaveform([word])})
+    assert app.compute(window).payload["words"] == [word]
+
+
+def test_speech_recognizes_word_sequences_across_windows():
+    app = create_app("A11")
+    speech = SpokenWordWaveform(["open", "stop", "close"])
+    heard = []
+    for index in range(3):
+        window = collect_window(
+            app, window_index=index, start_s=float(index),
+            waveforms={"S8": speech},
+        )
+        heard.extend(app.compute(window).payload["words"])
+    assert heard == ["open", "stop", "close"]
+
+
+# ----------------------------------------------------------------------
+# fingerprint: population identification
+# ----------------------------------------------------------------------
+def test_fingerprint_identifies_population_without_confusion():
+    app = create_app("A10")
+    people = (0, 1, 2, 3, 4)
+    reader = FingerprintWaveform(person_ids=people)
+    identities = {}
+    # First pass enrolls everyone.
+    for index, person in enumerate(people):
+        window = collect_window(
+            app, window_index=index, start_s=float(index),
+            waveforms={"S3": reader},
+        )
+        result = app.compute(window)
+        assert result.payload["action"] == "enrolled"
+        identities[person] = result.payload["identity"]
+    # Second pass must identify each person as themselves.
+    for index, person in enumerate(people):
+        window = collect_window(
+            app, window_index=len(people) + index,
+            start_s=float(len(people) + index),
+            waveforms={"S3": reader},
+        )
+        result = app.compute(window)
+        assert result.payload["action"] == "identified"
+        assert result.payload["identity"] == identities[person]
+    assert app.enrolled == len(people)
+
+
+# ----------------------------------------------------------------------
+# JPEG: reconstruction quality across frames
+# ----------------------------------------------------------------------
+def _psnr(reference, decoded):
+    mse = float(np.mean((reference - decoded) ** 2))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0**2 / mse)
+
+
+@pytest.mark.parametrize("frame_index", [0, 1, 2])
+def test_jpeg_psnr_across_frames(frame_index):
+    from repro.apps.jpegdec import decode_frame_pixels
+
+    camera = CameraWaveform()
+    frame = camera.frame_at(float(frame_index))
+    decoded = decode_frame_pixels(frame)
+    scene = render_scene(camera.shape, frame.frame_id)
+    rows, cols = camera.shape
+    psnr = _psnr(scene, decoded[:rows, :cols])
+    assert psnr > 28.0  # visually faithful for a quantized pipeline

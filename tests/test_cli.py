@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_run_command(capsys):
+    assert main(["run", "A2", "--scheme", "batching"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=batching" in out
+    assert "Data Transfer" in out
+    assert "mJ" in out
+
+
+def test_run_with_batch_size(capsys):
+    assert main(["run", "A2", "--scheme", "batching", "--batch-size", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "interrupts=10 " in out
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "A2", "--schemes", "baseline", "com"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "com" in out
+    assert "Savings %" in out
+
+
+def test_tables_command(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Accelerometer" in out
+    assert "Speech-To-Text" in out
+    assert "S10" in out
+
+
+def test_apps_command(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "stepcounter" in out
+    assert "heavy-weight" in out  # A11's rejection reason
+
+
+def test_parser_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "A2", "--scheme", "warp"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_rejects_unknown_app():
+    from repro.errors import WorkloadError
+
+    with pytest.raises(WorkloadError):
+        main(["run", "A99"])

@@ -1,0 +1,77 @@
+"""Latency metrics and mixed-window integration scenarios."""
+
+import pytest
+
+from repro.apps import create_app
+from repro.core import Scheme, run_apps
+
+
+def test_light_app_latency_is_milliseconds():
+    result = run_apps(["A2"], Scheme.BASELINE)
+    latencies = result.result_latencies_s("stepcounter", window_s=1.0)
+    assert len(latencies) == 1
+    assert 0.0 < latencies[0] < 0.05  # compute + upload tail
+
+
+def test_com_latency_includes_mcu_compute_and_deep_wake():
+    result = run_apps(["A2"], Scheme.COM)
+    latency = result.result_latencies_s("stepcounter", window_s=1.0)[0]
+    # 21.7 ms MCU compute + 10 ms deep-sleep exit + transfer.
+    assert 0.025 < latency < 0.08
+
+
+def test_heavy_app_latency_exceeds_window():
+    result = run_apps(["A11"], Scheme.BASELINE)
+    latency = result.result_latencies_s("speech2text", window_s=1.0)[0]
+    assert latency > 2.0  # slower than real time, §IV-E3
+
+
+def test_mixed_window_lengths_run_concurrently():
+    """A2's 1 s windows and A8's 5 s window coexist in one scenario."""
+    result = run_apps(["A2", "A8"], Scheme.BASELINE)
+    assert result.results_ok
+    assert result.duration_s >= 5.0
+    assert result.interrupt_count == 2000  # 1000 each per Table II
+    assert result.result_payloads("heartbeat")[0]["beats"] > 0
+
+
+def test_mixed_window_lengths_under_com():
+    result = run_apps(["A2", "A8"], Scheme.COM)
+    assert result.results_ok
+    assert result.qos_violations == []
+    # Both offloaded: only two result interrupts.
+    assert result.interrupt_count == 2
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [Scheme.POLLING, Scheme.BASELINE, Scheme.BATCHING, Scheme.COM, Scheme.BCOM],
+)
+def test_every_scheme_is_deterministic(scheme):
+    first = run_apps(["A2"], scheme)
+    second = run_apps(["A2"], scheme)
+    assert first.energy.total_j == second.energy.total_j
+    assert first.duration_s == second.duration_s
+    assert first.busy_times == second.busy_times
+
+
+def test_beam_multi_window():
+    result = run_apps(["A2", "A7"], Scheme.BEAM, windows=3)
+    assert result.interrupt_count == 3000
+    assert len(result.result_payloads("stepcounter")) == 3
+    assert len(result.result_payloads("earthquake")) == 3
+
+
+def test_bcom_with_batch_size_for_the_heavy_app():
+    from repro.core import Scenario, run_scenario
+
+    scenario = Scenario(
+        apps=[create_app("A11"), create_app("A6")],
+        scheme=Scheme.BCOM,
+        batch_size=250,
+    )
+    result = run_scenario(scenario)
+    assert result.results_ok
+    # A6 offloaded (1 result IRQ); A11 batched in 250-sample chunks
+    # (4 partial/final batches).
+    assert result.interrupt_count == 5

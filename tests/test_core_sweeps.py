@@ -1,0 +1,71 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.apps import create_app
+from repro.core import Scenario, Scheme, grid_of, run_sweep
+from repro.calibration import default_calibration
+
+
+def test_grid_of_cartesian_product():
+    grid = grid_of(a=[1, 2], b=["x", "y", "z"])
+    assert len(grid) == 6
+    assert {"a": 2, "b": "y"} in grid
+
+
+def test_grid_of_single_axis():
+    assert grid_of(rate=[10]) == [{"rate": 10}]
+
+
+def test_sweep_over_batch_sizes():
+    def factory(batch_size):
+        return Scenario(
+            apps=[create_app("A2")],
+            scheme=Scheme.BATCHING,
+            batch_size=batch_size,
+        )
+
+    sweep = run_sweep(grid_of(batch_size=[100, 1000]), factory)
+    assert len(sweep) == 2
+    assert not sweep.failed
+    series = sweep.series(
+        "batch_size", lambda result: result.interrupt_count
+    )
+    assert series == [(100, 10), (1000, 1)]
+
+
+def test_sweep_captures_library_errors():
+    def factory(slowdown):
+        return Scenario(
+            apps=[create_app("A2")],
+            scheme=Scheme.COM,
+            calibration=default_calibration().with_uniform_mcu_slowdown(slowdown),
+        )
+
+    sweep = run_sweep(grid_of(slowdown=[10.0, 900.0]), factory)
+    assert len(sweep.succeeded) == 1
+    assert len(sweep.failed) == 1
+    assert "QoS" in sweep.failed[0].error
+
+
+def test_sweep_raises_when_errors_not_kept():
+    from repro.errors import OffloadError
+
+    def factory(app_id):
+        return Scenario(apps=[create_app(app_id)], scheme=Scheme.COM)
+
+    with pytest.raises(OffloadError):
+        run_sweep(grid_of(app_id=["A11"]), factory, keep_errors=False)
+
+
+def test_sweep_records_merge_params_and_metrics():
+    def factory(scheme):
+        return Scenario(apps=[create_app("A2")], scheme=scheme)
+
+    sweep = run_sweep(grid_of(scheme=[Scheme.BASELINE, Scheme.COM]), factory)
+    records = sweep.records(
+        lambda result: {"energy_j": result.energy.marginal_j}
+    )
+    assert len(records) == 2
+    assert records[0]["scheme"] == Scheme.BASELINE
+    assert records[0]["energy_j"] > records[1]["energy_j"]

@@ -1,0 +1,81 @@
+"""Unit tests for the DCT/IDCT and JPEG-style block coding."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    blockwise_dct,
+    blockwise_idct,
+    dct2,
+    dct_matrix,
+    dequantize,
+    idct2,
+    quantize,
+    zigzag_order,
+)
+from repro.dsp.dct import JPEG_LUMA_QTABLE, zigzag_indices
+
+
+def test_dct_matrix_is_orthonormal():
+    matrix = dct_matrix(8)
+    assert np.allclose(matrix @ matrix.T, np.eye(8), atol=1e-12)
+
+
+def test_dct_matrix_rejects_bad_size():
+    with pytest.raises(ValueError):
+        dct_matrix(0)
+
+
+def test_idct_inverts_dct():
+    rng = np.random.default_rng(42)
+    block = rng.uniform(-128, 127, size=(8, 8))
+    assert np.allclose(idct2(dct2(block)), block, atol=1e-9)
+
+
+def test_dct_of_constant_block_is_dc_only():
+    block = np.full((8, 8), 50.0)
+    coeffs = dct2(block)
+    assert coeffs[0, 0] == pytest.approx(50.0 * 8)
+    coeffs[0, 0] = 0.0
+    assert np.allclose(coeffs, 0.0, atol=1e-9)
+
+
+def test_quantize_roundtrip_small_error():
+    rng = np.random.default_rng(7)
+    block = rng.uniform(-128, 127, size=(8, 8))
+    coeffs = dct2(block)
+    restored = idct2(dequantize(quantize(coeffs)))
+    # Quantization loses detail but must stay visually close.
+    assert np.abs(restored - block).mean() < 30.0
+
+
+def test_blockwise_roundtrip():
+    rng = np.random.default_rng(3)
+    image = rng.uniform(0, 255, size=(16, 24))
+    assert np.allclose(blockwise_idct(blockwise_dct(image)), image, atol=1e-9)
+
+
+def test_blockwise_rejects_non_multiple_shapes():
+    with pytest.raises(ValueError):
+        blockwise_dct(np.zeros((10, 16)))
+
+
+def test_zigzag_covers_all_indices_once():
+    indices = zigzag_indices(8)
+    assert len(indices) == 64
+    assert len(set(indices)) == 64
+    assert indices[0] == (0, 0)
+    assert indices[1] in ((0, 1), (1, 0))
+
+
+def test_zigzag_order_low_frequencies_first():
+    block = np.arange(64).reshape(8, 8)
+    flat = zigzag_order(block)
+    assert flat[0] == block[0, 0]
+    # The last zigzag element is the highest-frequency corner.
+    assert flat[-1] == block[7, 7]
+
+
+def test_qtable_shape():
+    assert JPEG_LUMA_QTABLE.shape == (8, 8)
+    assert (JPEG_LUMA_QTABLE > 0).all()

@@ -1,0 +1,142 @@
+"""Unit tests for filters, peak detection and stats kernels."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import (
+    adaptive_threshold,
+    ema,
+    find_peaks,
+    fir_filter,
+    magnitude,
+    moving_average,
+    normalize,
+    rmssd,
+    rr_intervals,
+    sta_lta,
+)
+
+
+def test_moving_average_smooths_constant_signal():
+    signal = np.full(50, 3.0)
+    assert np.allclose(moving_average(signal, 5), 3.0)
+
+
+def test_moving_average_window_one_is_identity():
+    signal = np.arange(10.0)
+    assert np.allclose(moving_average(signal, 1), signal)
+
+
+def test_moving_average_preserves_length():
+    assert len(moving_average(np.arange(33.0), 7)) == 33
+
+
+def test_moving_average_rejects_bad_window():
+    with pytest.raises(ValueError):
+        moving_average(np.arange(5.0), 0)
+
+
+def test_ema_converges_to_constant():
+    signal = np.full(200, 10.0)
+    assert ema(signal, 0.3)[-1] == pytest.approx(10.0)
+
+
+def test_ema_rejects_bad_alpha():
+    with pytest.raises(ValueError):
+        ema(np.arange(5.0), 0.0)
+    with pytest.raises(ValueError):
+        ema(np.arange(5.0), 1.5)
+
+
+def test_fir_filter_identity_tap():
+    signal = np.arange(10.0)
+    assert np.allclose(fir_filter(signal, np.array([1.0])), signal)
+
+
+def test_fir_filter_delay_tap():
+    signal = np.arange(5.0)
+    delayed = fir_filter(signal, np.array([0.0, 1.0]))
+    assert np.allclose(delayed, [0.0, 0.0, 1.0, 2.0, 3.0])
+
+
+def test_fir_filter_rejects_empty_taps():
+    with pytest.raises(ValueError):
+        fir_filter(np.arange(5.0), np.array([]))
+
+
+def test_magnitude_of_axis_vectors():
+    vectors = np.array([[3.0, 4.0, 0.0], [1.0, 2.0, 2.0]])
+    assert np.allclose(magnitude(vectors), [5.0, 3.0])
+
+
+def test_normalize_zero_mean_unit_std():
+    data = np.array([1.0, 2.0, 3.0, 4.0])
+    result = normalize(data)
+    assert result.mean() == pytest.approx(0.0)
+    assert result.std() == pytest.approx(1.0)
+
+
+def test_normalize_constant_signal_is_zero():
+    assert np.allclose(normalize(np.full(10, 7.0)), 0.0)
+
+
+def test_find_peaks_simple():
+    signal = np.array([0, 1, 0, 2, 0, 3, 0], dtype=float)
+    assert find_peaks(signal, threshold=0.5) == [1, 3, 5]
+
+
+def test_find_peaks_threshold_filters():
+    signal = np.array([0, 1, 0, 2, 0, 3, 0], dtype=float)
+    assert find_peaks(signal, threshold=2.5) == [5]
+
+
+def test_find_peaks_min_distance_suppresses():
+    signal = np.array([0, 5, 0, 5, 0, 5, 0], dtype=float)
+    assert find_peaks(signal, threshold=1.0, min_distance=3) == [1, 5]
+
+
+def test_find_peaks_rejects_bad_distance():
+    with pytest.raises(ValueError):
+        find_peaks(np.zeros(5), threshold=0.0, min_distance=0)
+
+
+def test_adaptive_threshold_between_min_and_max():
+    signal = np.array([0.0, 0.0, 10.0, 0.0, 0.0])
+    threshold = adaptive_threshold(signal)
+    assert 0.0 < threshold < 10.0
+
+
+def test_sta_lta_triggers_on_burst():
+    quiet = np.full(200, 0.1)
+    burst = np.concatenate([quiet, np.full(50, 5.0), quiet])
+    ratio = sta_lta(burst, short_window=10, long_window=100)
+    assert ratio[:200].max() < 1.5
+    assert ratio[200:250].max() > 3.0
+
+
+def test_sta_lta_rejects_bad_windows():
+    with pytest.raises(ValueError):
+        sta_lta(np.zeros(10), short_window=5, long_window=5)
+
+
+def test_rr_intervals_from_peaks():
+    intervals = rr_intervals([0, 100, 200, 320], sample_rate_hz=100.0)
+    assert np.allclose(intervals, [1.0, 1.0, 1.2])
+
+
+def test_rr_intervals_too_few_peaks():
+    assert rr_intervals([5], 100.0).size == 0
+
+
+def test_rr_intervals_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        rr_intervals([0, 1], 0.0)
+
+
+def test_rmssd_zero_for_regular_rhythm():
+    assert rmssd(np.full(10, 0.8)) == pytest.approx(0.0)
+
+
+def test_rmssd_positive_for_irregular_rhythm():
+    intervals = np.array([0.8, 1.1, 0.7, 1.2, 0.8])
+    assert rmssd(intervals) > 0.2

@@ -1,0 +1,90 @@
+"""Unit tests for the MFCC front end and DTW matcher."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import dtw_distance, frame_signal, hamming_window, mel_filterbank, mfcc
+from repro.sensors.sound import VOCABULARY, synthesize_word
+
+
+def test_hamming_window_endpoints_low_center_high():
+    window = hamming_window(64)
+    assert window[0] == pytest.approx(0.08, abs=1e-6)
+    assert window[32] > 0.9
+
+
+def test_hamming_window_rejects_bad_length():
+    with pytest.raises(ValueError):
+        hamming_window(0)
+
+
+def test_frame_signal_shapes():
+    frames = frame_signal(np.arange(1000.0), frame_length=256, hop_length=128)
+    assert frames.shape[1] == 256
+    assert frames.shape[0] == 1 + (1000 - 256) // 128
+
+
+def test_frame_signal_pads_short_input():
+    frames = frame_signal(np.arange(10.0), frame_length=64, hop_length=32)
+    assert frames.shape == (1, 64)
+
+
+def test_mel_filterbank_rows_cover_spectrum():
+    bank = mel_filterbank(20, 256, 8000.0)
+    assert bank.shape == (20, 129)
+    assert (bank.sum(axis=1) > 0).all()
+    assert bank.min() >= 0.0
+
+
+def test_mfcc_shape_and_determinism():
+    signal = np.sin(2 * np.pi * 440.0 * np.arange(4000) / 8000.0)
+    features_a = mfcc(signal, 8000.0)
+    features_b = mfcc(signal, 8000.0)
+    assert features_a.shape[1] == 12
+    assert np.allclose(features_a, features_b)
+
+
+def test_mfcc_distinguishes_frequencies():
+    t = np.arange(4000) / 8000.0
+    low = mfcc(np.sin(2 * np.pi * 200.0 * t), 8000.0)
+    high = mfcc(np.sin(2 * np.pi * 2000.0 * t), 8000.0)
+    assert not np.allclose(low.mean(axis=0), high.mean(axis=0), atol=0.5)
+
+
+def test_dtw_zero_for_identical_sequences():
+    seq = np.random.default_rng(0).normal(size=(20, 4))
+    assert dtw_distance(seq, seq) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_dtw_tolerates_time_warping():
+    base = np.sin(np.linspace(0, 4 * np.pi, 60)).reshape(-1, 1)
+    stretched = np.sin(np.linspace(0, 4 * np.pi, 90)).reshape(-1, 1)
+    different = np.cos(np.linspace(0, 9 * np.pi, 60)).reshape(-1, 1)
+    assert dtw_distance(base, stretched) < dtw_distance(base, different)
+
+
+def test_dtw_rejects_dimension_mismatch():
+    with pytest.raises(ValueError):
+        dtw_distance(np.zeros((5, 2)), np.zeros((5, 3)))
+
+
+def test_dtw_rejects_empty():
+    with pytest.raises(ValueError):
+        dtw_distance(np.zeros((0, 2)), np.zeros((5, 2)))
+
+
+def test_word_templates_are_mutually_distinguishable():
+    """MFCC+DTW must separate every vocabulary word from the others."""
+    rate = 8000.0
+    features = {
+        word: mfcc(synthesize_word(word, rate), rate) for word in VOCABULARY
+    }
+    for word, feats in features.items():
+        same = dtw_distance(
+            feats, mfcc(synthesize_word(word, rate, seed=5), rate)
+        )
+        for other, other_feats in features.items():
+            if other == word:
+                continue
+            cross = dtw_distance(feats, other_feats)
+            assert same < cross, f"{word} confused with {other}"

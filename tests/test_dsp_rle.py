@@ -1,0 +1,89 @@
+"""Tests for the zigzag + RLE entropy codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp.rle import _read_varint, _zigzag_varint, decode_plane, encode_plane
+from repro.errors import ProtocolError
+from repro.sensors.camera import encode_frame, render_scene
+
+
+@given(st.integers(min_value=-(2**40), max_value=2**40))
+def test_varint_roundtrip(value):
+    data = _zigzag_varint(value)
+    decoded, pos = _read_varint(data, 0)
+    assert decoded == value
+    assert pos == len(data)
+
+
+def test_varint_small_values_are_one_byte():
+    for value in range(-63, 64):
+        assert len(_zigzag_varint(value)) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arrays(
+        np.int32,
+        st.tuples(
+            st.sampled_from([8, 16, 24]), st.sampled_from([8, 16, 32])
+        ),
+        elements=st.integers(min_value=-512, max_value=512),
+    )
+)
+def test_plane_roundtrip_any_levels(levels):
+    assert np.array_equal(decode_plane(encode_plane(levels)), levels)
+
+
+def test_sparse_plane_compresses_well():
+    levels = np.zeros((64, 64), dtype=np.int32)
+    levels[0, 0] = 100  # one DC coefficient
+    encoded = encode_plane(levels)
+    # 64 blocks x (1B DC + 1B EOB) + 4B header + 1 extra varint byte.
+    assert len(encoded) < 200
+    assert np.array_equal(decode_plane(encoded), levels)
+
+
+def test_camera_frame_bitstream_is_smaller_than_raw():
+    frame = encode_frame(render_scene((32, 48)))
+    stream = frame.to_bytes()
+    assert len(stream) < frame.nbytes
+    assert np.array_equal(decode_plane(stream), frame.levels)
+
+
+def test_decode_rejects_malformed():
+    with pytest.raises(ProtocolError):
+        decode_plane(b"")
+    with pytest.raises(ProtocolError):
+        decode_plane(b"\x00\x08\x00\x08")  # header only, no blocks
+    good = encode_plane(np.ones((8, 8), dtype=np.int32))
+    with pytest.raises(ProtocolError):
+        decode_plane(good + b"\x00")  # trailing garbage
+    with pytest.raises(ProtocolError):
+        decode_plane(good[:-2])  # truncated
+
+
+def test_decode_rejects_misaligned_dimensions():
+    data = (7).to_bytes(2, "big") + (8).to_bytes(2, "big")
+    with pytest.raises(ProtocolError):
+        decode_plane(data)
+
+
+def test_encode_rejects_misaligned_plane():
+    with pytest.raises(ProtocolError):
+        encode_plane(np.zeros((10, 8), dtype=np.int32))
+
+
+def test_jpeg_app_decodes_via_bitstream():
+    from repro.apps import create_app
+    from repro.apps.offline import collect_window
+    from repro.sensors.camera import CameraWaveform
+
+    app = create_app("A9")
+    window = collect_window(app, waveforms={"S10": CameraWaveform()})
+    result = app.compute(window)
+    assert result.payload["frames_decoded"] == 1
+    assert 0.0 < result.payload["mean_luma"] < 255.0

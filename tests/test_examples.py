@@ -1,0 +1,62 @@
+"""The example scripts must run cleanly end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    saved = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = saved
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES / "quickstart.py").exists()
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "baseline" in out
+    assert "com" in out
+    assert "legend" in out
+
+
+def test_smart_home_hub(capsys):
+    run_example("smart_home_hub.py")
+    out = capsys.readouterr().out
+    assert "BCOM placement decisions" in out
+    assert "-> MCU" in out
+    assert "complete results" in out
+
+
+def test_health_monitor(capsys):
+    run_example("health_monitor.py")
+    out = capsys.readouterr().out
+    assert "irregular=True" in out
+    assert "COM saves" in out
+
+
+def test_offload_advisor_fast(capsys):
+    run_example("offload_advisor.py", argv=["--fast"])
+    out = capsys.readouterr().out
+    assert "speech2text" in out
+    assert "CPU" in out and "MCU" in out
+
+
+def test_field_deployment(capsys):
+    run_example("field_deployment.py")
+    out = capsys.readouterr().out
+    assert "Deployed configuration" in out
+    assert "hub power" in out
+    assert "Cloud upload intact" in out

@@ -1,0 +1,130 @@
+"""Unit tests for the MCU firmware layer."""
+
+import pytest
+
+from repro.apps import create_app
+from repro.calibration import default_calibration
+from repro.errors import CapacityError
+from repro.firmware import BatchBuffer, check_offloadable, read_and_decode
+from repro.hw import IoTHub, MemoryRegion
+from repro.sensors import ConstantWaveform, SensorDevice
+from repro.sensors.base import SensorSample
+
+
+def sample(seq=1, nbytes=12):
+    return SensorSample(time=0.0, sensor_id="S4", value=1.0, nbytes=nbytes, seq=seq)
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+def test_read_and_decode_takes_read_plus_decode_time():
+    hub = IoTHub()
+    device = SensorDevice.attach(hub, "S4", ConstantWaveform(0.0))
+    out = []
+
+    def reader():
+        result = yield from read_and_decode(hub, device)
+        out.append(result)
+
+    hub.sim.spawn(reader())
+    hub.run()
+    expected = (
+        device.spec.read_time_s
+        + hub.calibration.mcu.decode_time_per_sample_s
+    )
+    assert hub.sim.now == pytest.approx(expected)
+    assert out[0].sensor_id == "S4"
+
+
+# ----------------------------------------------------------------------
+# batching buffer
+# ----------------------------------------------------------------------
+def test_batch_buffer_accounts_ram():
+    ram = MemoryRegion("ram", 100)
+    buffer = BatchBuffer(ram, "batch:test")
+    buffer.add(sample(1), 40)
+    buffer.add(sample(2), 40)
+    assert buffer.sample_count == 2
+    assert buffer.buffered_bytes == 80
+    assert ram.used_bytes == 80
+
+
+def test_batch_buffer_rejects_overflow():
+    ram = MemoryRegion("ram", 100)
+    buffer = BatchBuffer(ram, "batch:test")
+    buffer.add(sample(1), 80)
+    with pytest.raises(CapacityError):
+        buffer.add(sample(2), 40)
+
+
+def test_batch_buffer_flush_releases_ram():
+    ram = MemoryRegion("ram", 100)
+    buffer = BatchBuffer(ram, "batch:test")
+    buffer.add(sample(1), 60)
+    flushed = buffer.flush()
+    assert len(flushed) == 1
+    assert ram.used_bytes == 0
+    assert buffer.buffered_bytes == 0
+    assert buffer.high_water_bytes == 60
+    # Buffer is reusable after a flush.
+    buffer.add(sample(2), 90)
+    assert buffer.sample_count == 1
+
+
+# ----------------------------------------------------------------------
+# offloadability (the paper's COM feasibility rules)
+# ----------------------------------------------------------------------
+def test_all_light_apps_are_offloadable():
+    for index in range(1, 11):
+        app = create_app(f"A{index}")
+        report = check_offloadable(app)
+        assert report.offloadable, f"{app.name}: {report.reasons}"
+
+
+def test_heavy_app_rejected_for_weight_and_memory():
+    report = check_offloadable(create_app("A11"))
+    assert not report
+    assert any("heavy-weight" in reason for reason in report.reasons)
+    assert any("MCU RAM" in reason for reason in report.reasons)
+
+
+def test_mcu_unfriendly_sensor_blocks_offload():
+    from repro.apps.base import AppProfile, IoTApp
+
+    class HighResApp(IoTApp):
+        def __init__(self):
+            super().__init__(
+                AppProfile(
+                    table2_id="AX",
+                    name="highres",
+                    title="x",
+                    category="c",
+                    user_task="t",
+                    sensor_ids=("S10H",),
+                    mips=5.0,
+                    heap_bytes=1000,
+                    stack_bytes=100,
+                )
+            )
+
+        def compute(self, window):  # pragma: no cover
+            raise NotImplementedError
+
+    report = check_offloadable(HighResApp())
+    assert not report
+    assert any("MCU-unfriendly" in reason for reason in report.reasons)
+
+
+def test_slow_mcu_blocks_offload_via_qos():
+    cal = default_calibration().with_mcu(mips=1.0)  # absurdly slow MCU
+    report = check_offloadable(create_app("A1"), cal)
+    assert not report
+    assert any("QoS" in reason for reason in report.reasons)
+
+
+def test_report_carries_requirements():
+    report = check_offloadable(create_app("A2"))
+    assert report.mcu_compute_time_s == pytest.approx(21.7e-3, rel=0.02)
+    profile = create_app("A2").profile
+    assert report.required_ram_bytes == profile.mcu_footprint_bytes

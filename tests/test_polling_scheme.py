@@ -1,0 +1,59 @@
+"""Tests for the main-board polling scheme (§II-A)."""
+
+import pytest
+
+from repro.core import Scheme, run_apps
+from repro.hw.mcu import McuState
+
+
+def test_polling_uses_no_interrupts_or_bus():
+    result = run_apps(["A2"], Scheme.POLLING)
+    assert result.interrupt_count == 0
+    assert result.bus_bytes == 0
+
+
+def test_polling_leaves_mcu_asleep():
+    result = run_apps(["A2"], Scheme.POLLING)
+    asleep = result.hub.recorder.time_in_state(
+        "mcu", McuState.SLEEP, result.duration_s
+    )
+    assert asleep == pytest.approx(result.duration_s)
+
+
+def test_polling_blocks_cpu_for_read_time():
+    result = run_apps(["A2"], Scheme.POLLING)
+    busy = result.hub.recorder.time_in_state("cpu", "busy", result.duration_s)
+    # 1000 blocking reads x 0.5 ms each, plus stores and compute.
+    assert busy > 0.5
+    assert result.results_ok
+
+
+def test_polling_matches_baseline_functionally():
+    polling = run_apps(["A2"], Scheme.POLLING)
+    baseline = run_apps(["A2"], Scheme.BASELINE)
+    assert (
+        polling.result_payloads("stepcounter")[0]["steps"]
+        == baseline.result_payloads("stepcounter")[0]["steps"]
+    )
+
+
+def test_polling_slow_sensors_saturate_the_cpu():
+    """A3's two slow sensors block the CPU for most of the window."""
+    result = run_apps(["A3"], Scheme.POLLING)
+    busy = result.hub.recorder.time_in_state("cpu", "busy", result.duration_s)
+    # S1: 10 x 37.5 ms + S2: 10 x 18.75 ms = 562.5 ms of blocking reads.
+    assert busy > 0.55
+
+
+def test_polling_multi_app_contention_extends_collection():
+    """Concurrent apps queue behind each other's blocking reads."""
+    result = run_apps(["A2", "A3"], Scheme.POLLING, windows=1)
+    assert result.results_ok
+    busy = result.hub.recorder.time_in_state("cpu", "busy", result.duration_s)
+    assert busy > 1.0  # reads serialize on the single CPU core
+
+
+def test_polling_multi_window():
+    result = run_apps(["A2"], Scheme.POLLING, windows=2)
+    assert len(result.result_payloads("stepcounter")) == 2
+    assert result.qos_violations == []

@@ -1,0 +1,111 @@
+"""Property-based tests for the DSP substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp import (
+    dct2,
+    dtw_distance,
+    fir_filter,
+    idct2,
+    magnitude,
+    moving_average,
+    normalize,
+    rr_intervals,
+    sta_lta,
+    zigzag_order,
+)
+
+finite = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@given(arrays(np.float64, (8, 8), elements=finite))
+def test_dct_roundtrip_any_block(block):
+    assert np.allclose(idct2(dct2(block)), block, atol=1e-8)
+
+
+@given(arrays(np.float64, (8, 8), elements=finite))
+def test_dct_preserves_energy(block):
+    """Orthonormal transform: Parseval's identity holds."""
+    coeffs = dct2(block)
+    assert np.sum(coeffs**2) == np.float64(0).__class__(
+        np.sum(coeffs**2)
+    )  # finite
+    assert np.isclose(np.sum(coeffs**2), np.sum(block**2), rtol=1e-9)
+
+
+@given(arrays(np.float64, (8, 8), elements=finite))
+def test_zigzag_is_a_permutation(block):
+    flat = zigzag_order(block)
+    assert sorted(flat.tolist()) == sorted(block.flatten().tolist())
+
+
+@given(
+    arrays(np.float64, st.integers(4, 64), elements=finite),
+    st.integers(1, 10),
+)
+def test_moving_average_stays_within_range(signal, window):
+    smoothed = moving_average(signal, window)
+    assert len(smoothed) == len(signal)
+    assert smoothed.min() >= signal.min() - 1e-9
+    assert smoothed.max() <= signal.max() + 1e-9
+
+
+@given(arrays(np.float64, st.integers(2, 64), elements=finite))
+def test_normalize_properties(signal):
+    result = normalize(signal)
+    if signal.std() <= 1e-12 * max(1.0, abs(signal.mean())):
+        assert np.allclose(result, 0.0)
+    else:
+        assert abs(result.mean()) < 1e-6
+        assert abs(result.std() - 1.0) < 1e-6
+
+
+@given(arrays(np.float64, st.integers(1, 32), elements=finite))
+def test_fir_identity_preserves_signal(signal):
+    assert np.allclose(fir_filter(signal, np.array([1.0])), signal)
+
+
+@given(arrays(np.float64, (5, 3), elements=finite))
+def test_magnitude_nonnegative(vectors):
+    assert (magnitude(vectors) >= 0).all()
+
+
+@given(
+    st.lists(st.integers(0, 10_000), min_size=2, max_size=30, unique=True),
+    st.floats(min_value=1.0, max_value=10_000.0),
+)
+def test_rr_intervals_positive_for_sorted_peaks(peaks, rate):
+    intervals = rr_intervals(sorted(peaks), rate)
+    assert (intervals > 0).all()
+    assert len(intervals) == len(peaks) - 1
+
+
+@given(
+    arrays(
+        np.float64,
+        st.integers(50, 200),
+        elements=st.floats(min_value=0.01, max_value=100.0),
+    )
+)
+def test_sta_lta_warmup_is_one(signal):
+    ratio = sta_lta(signal, short_window=5, long_window=20)
+    assert np.allclose(ratio[:20], 1.0)
+    assert (ratio >= 0).all()
+
+
+@settings(deadline=None)
+@given(
+    arrays(np.float64, st.tuples(st.integers(2, 12), st.just(3)), elements=finite),
+    arrays(np.float64, st.tuples(st.integers(2, 12), st.just(3)), elements=finite),
+)
+def test_dtw_symmetry_and_identity(seq_a, seq_b):
+    assert dtw_distance(seq_a, seq_a) < 1e-9
+    forward = dtw_distance(seq_a, seq_b)
+    backward = dtw_distance(seq_b, seq_a)
+    assert np.isclose(forward, backward, rtol=1e-9)
+    assert forward >= 0

@@ -1,0 +1,132 @@
+"""Property-based tests: energy integration and memory accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import EnergyReport, PowerMonitor
+from repro.errors import CapacityError
+from repro.hw.memory import MemoryRegion
+from repro.hw.power import Routine
+from repro.sim.trace import StateChange, TimelineRecorder
+
+routines = st.sampled_from([r for r in Routine.ORDER])
+
+
+@st.composite
+def power_traces(draw):
+    """A per-component piecewise-constant power trace."""
+    count = draw(st.integers(1, 12))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=9.0, allow_nan=False),
+                min_size=count,
+                max_size=count,
+            )
+        )
+    )
+    return [
+        (
+            time,
+            draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False)),
+            draw(routines),
+        )
+        for time in times
+    ]
+
+
+@settings(max_examples=100)
+@given(st.dictionaries(st.sampled_from(["cpu", "mcu", "bus"]), power_traces(), min_size=1))
+def test_integration_matches_manual_sum(traces):
+    recorder = TimelineRecorder()
+    end_time = 10.0
+    expected = 0.0
+    for component, trace in traces.items():
+        for index, (time, power, routine) in enumerate(trace):
+            recorder.record(
+                StateChange(
+                    time=time,
+                    component=component,
+                    state=f"s{index}",
+                    power_w=power,
+                    routine=routine,
+                )
+            )
+        for (time, power, _), nxt in zip(trace, trace[1:] + [None]):
+            next_time = nxt[0] if nxt else end_time
+            expected += power * max(0.0, next_time - time)
+    report = PowerMonitor(recorder, idle_floor_power_w=0.0).measure(end_time)
+    assert report.total_j == pytest.approx(expected, rel=1e-9, abs=1e-9)
+    # Conservation across both views.
+    assert sum(report.by_routine.values()) == pytest.approx(report.total_j)
+    assert sum(report.by_component.values()) == pytest.approx(report.total_j)
+
+
+@settings(max_examples=100)
+@given(
+    st.floats(min_value=0.01, max_value=100.0),
+    st.floats(min_value=0.0, max_value=5.0),
+    st.floats(min_value=0.1, max_value=10.0),
+)
+def test_marginal_bounds(total_power, floor_power, duration):
+    report = EnergyReport(duration_s=duration, idle_floor_power_w=floor_power)
+    report.by_component_routine[("cpu", Routine.DATA_TRANSFER)] = (
+        total_power * duration
+    )
+    assert 0.0 <= report.marginal_j <= report.total_j + 1e-12
+
+
+@settings(max_examples=60)
+@given(
+    st.dictionaries(
+        routines,
+        st.floats(min_value=0.0, max_value=50.0),
+        min_size=1,
+    ),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+def test_scaled_bars_sum_to_normalized_total(routine_energy, floor):
+    baseline = EnergyReport(duration_s=1.0, idle_floor_power_w=floor)
+    report = EnergyReport(duration_s=1.0, idle_floor_power_w=floor)
+    for routine, joules in routine_energy.items():
+        baseline.by_component_routine[("cpu", routine)] = joules * 2 + 1.0
+        report.by_component_routine[("cpu", routine)] = joules
+    bars = report.scaled_routine_bars(baseline)
+    assert sum(bars.values()) == pytest.approx(
+        report.normalized_to(baseline), abs=1e-9
+    )
+
+
+# ----------------------------------------------------------------------
+# memory region: random alloc/free sequences never corrupt accounting
+# ----------------------------------------------------------------------
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free"]),
+            st.sampled_from(["a", "b", "c"]),
+            st.integers(min_value=0, max_value=600),
+        ),
+        max_size=30,
+    )
+)
+def test_memory_region_invariants(operations):
+    region = MemoryRegion("ram", 1024)
+    shadow = {}
+    for op, label, nbytes in operations:
+        if op == "alloc":
+            if nbytes <= region.free_bytes:
+                region.allocate(label, nbytes)
+                shadow[label] = shadow.get(label, 0) + nbytes
+            else:
+                with pytest.raises(CapacityError):
+                    region.allocate(label, nbytes)
+        else:
+            freed = region.free(label)
+            assert freed == shadow.pop(label, 0)
+        assert region.used_bytes == sum(shadow.values())
+        assert 0 <= region.used_bytes <= region.capacity_bytes
+        assert region.peak_bytes >= region.used_bytes

@@ -1,0 +1,180 @@
+"""Property-based tests for the protocol codecs (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import (
+    BlynkFrame,
+    ChunkStore,
+    CoapMessage,
+    CoapType,
+    M2XBatch,
+    build_update_payload,
+    chunk_bytes,
+    compute_delta,
+    decode_frame,
+    decode_message,
+    dumps,
+    encode_frame,
+    encode_message,
+    loads,
+    parse_update_payload,
+    rolling_checksum,
+)
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=10), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=150)
+@given(json_values)
+def test_json_roundtrip_any_value(value):
+    assert loads(dumps(value)) == value
+
+
+@given(st.text(max_size=200))
+def test_json_string_escaping_total(text):
+    assert loads(dumps(text)) == text
+
+
+# ----------------------------------------------------------------------
+# CoAP
+# ----------------------------------------------------------------------
+coap_options = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=2000),
+        st.binary(max_size=40),
+    ),
+    max_size=5,
+)
+
+
+@settings(max_examples=150)
+@given(
+    mtype=st.integers(0, 3),
+    code=st.integers(0, 255),
+    message_id=st.integers(0, 0xFFFF),
+    token=st.binary(max_size=8),
+    options=coap_options,
+    payload=st.binary(min_size=0, max_size=64),
+)
+def test_coap_roundtrip_any_message(mtype, code, message_id, token, options, payload):
+    message = CoapMessage(
+        mtype=mtype,
+        code=code,
+        message_id=message_id,
+        token=token,
+        options=options,
+        payload=payload,
+    )
+    decoded = decode_message(encode_message(message))
+    assert decoded.mtype == mtype
+    assert decoded.code == code
+    assert decoded.message_id == message_id
+    assert decoded.token == token
+    assert decoded.payload == payload
+    # Options come back sorted by number with values intact.
+    assert sorted(decoded.options) == sorted(options)
+
+
+@given(st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=12))
+def test_coap_get_path_roundtrip(segment):
+    request = CoapMessage.get(f"/{segment}/{segment}", message_id=1)
+    decoded = decode_message(encode_message(request))
+    assert decoded.uri_path() == f"/{segment}/{segment}"
+    assert decoded.mtype == CoapType.CONFIRMABLE
+
+
+# ----------------------------------------------------------------------
+# Blynk
+# ----------------------------------------------------------------------
+@settings(max_examples=150)
+@given(
+    command=st.integers(0, 255),
+    message_id=st.integers(0, 0xFFFF),
+    body=st.binary(max_size=128),
+)
+def test_blynk_roundtrip_any_frame(command, message_id, body):
+    frame = BlynkFrame(command, message_id, body)
+    decoded, rest = decode_frame(encode_frame(frame))
+    assert decoded == frame
+    assert rest == b""
+
+
+# ----------------------------------------------------------------------
+# M2X
+# ----------------------------------------------------------------------
+@settings(max_examples=60)
+@given(
+    st.dictionaries(
+        st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=86_000.0, allow_nan=False),
+                st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_m2x_roundtrip_preserves_point_counts(streams):
+    batch = M2XBatch(device_id="dev")
+    for stream, points in streams.items():
+        for timestamp, value in points:
+            batch.add(stream, timestamp, value)
+    parsed = parse_update_payload(build_update_payload(batch, "key"))
+    assert parsed.point_count == batch.point_count
+    assert set(parsed.streams) == set(batch.streams)
+
+
+# ----------------------------------------------------------------------
+# chunk sync
+# ----------------------------------------------------------------------
+@settings(max_examples=80)
+@given(st.binary(min_size=0, max_size=4096))
+def test_sync_unchanged_data_never_uploads(data):
+    store = ChunkStore(chunk_size=256)
+    store.accept(data)
+    delta = compute_delta(data, store.signatures(), chunk_size=256)
+    assert delta.changed_indices == []
+    assert delta.upload_bytes == 0
+
+
+@settings(max_examples=80)
+@given(
+    st.binary(min_size=600, max_size=4096),
+    st.integers(min_value=0, max_value=599),
+)
+def test_sync_single_byte_change_touches_one_chunk(data, position):
+    store = ChunkStore(chunk_size=256)
+    store.accept(data)
+    mutated = bytearray(data)
+    mutated[position] = (mutated[position] + 1) % 256
+    delta = compute_delta(bytes(mutated), store.signatures(), chunk_size=256)
+    assert delta.changed_indices == [position // 256]
+
+
+@given(st.binary(min_size=0, max_size=2048), st.integers(1, 512))
+def test_chunking_reassembles(data, chunk_size):
+    assert b"".join(chunk_bytes(data, chunk_size)) == data
+
+
+@given(st.binary(min_size=1, max_size=512))
+def test_rolling_checksum_is_deterministic_32bit(chunk):
+    value = rolling_checksum(chunk)
+    assert value == rolling_checksum(chunk)
+    assert 0 <= value < 2**32

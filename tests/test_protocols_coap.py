@@ -1,0 +1,120 @@
+"""Unit tests for the CoAP codec and mini server."""
+
+import pytest
+
+from repro.protocols import (
+    CoapCode,
+    CoapError,
+    CoapMessage,
+    CoapServer,
+    CoapType,
+    decode_message,
+    encode_message,
+)
+from repro.protocols.coap import OPTION_URI_PATH
+
+
+def test_get_roundtrip():
+    request = CoapMessage.get("/sensors/light", message_id=7, token=b"\xab")
+    decoded = decode_message(encode_message(request))
+    assert decoded.mtype == CoapType.CONFIRMABLE
+    assert decoded.code == CoapCode.GET
+    assert decoded.message_id == 7
+    assert decoded.token == b"\xab"
+    assert decoded.uri_path() == "/sensors/light"
+
+
+def test_response_roundtrip_with_payload():
+    request = CoapMessage.get("/x", message_id=99)
+    response = request.reply(CoapCode.CONTENT, b'{"v": 1}')
+    decoded = decode_message(encode_message(response))
+    assert decoded.mtype == CoapType.ACKNOWLEDGEMENT
+    assert decoded.code == CoapCode.CONTENT
+    assert decoded.payload == b'{"v": 1}'
+    assert decoded.message_id == 99
+
+
+def test_large_option_values_use_extended_encoding():
+    long_segment = "x" * 300  # needs the 14 + 2-byte extended length
+    message = CoapMessage(
+        mtype=CoapType.CONFIRMABLE,
+        code=CoapCode.GET,
+        message_id=1,
+        options=[(OPTION_URI_PATH, long_segment.encode())],
+    )
+    decoded = decode_message(encode_message(message))
+    assert decoded.options[0][1] == long_segment.encode()
+
+
+def test_option_delta_encoding_over_gaps():
+    message = CoapMessage(
+        mtype=CoapType.NON_CONFIRMABLE,
+        code=CoapCode.GET,
+        message_id=5,
+        options=[(6, b"a"), (60, b"b"), (600, b"c")],
+    )
+    decoded = decode_message(encode_message(message))
+    assert [number for number, _ in decoded.options] == [6, 60, 600]
+
+
+def test_dotted_code_rendering():
+    assert CoapCode.dotted(CoapCode.CONTENT) == "2.05"
+    assert CoapCode.dotted(CoapCode.NOT_FOUND) == "4.04"
+
+
+def test_encode_rejects_bad_fields():
+    with pytest.raises(CoapError):
+        encode_message(
+            CoapMessage(mtype=0, code=1, message_id=70000)
+        )
+    with pytest.raises(CoapError):
+        encode_message(
+            CoapMessage(mtype=0, code=1, message_id=1, token=b"123456789")
+        )
+    with pytest.raises(CoapError):
+        encode_message(CoapMessage(mtype=9, code=1, message_id=1))
+
+
+def test_decode_rejects_truncated():
+    request = encode_message(CoapMessage.get("/a/b", message_id=3))
+    with pytest.raises(CoapError):
+        decode_message(request[:3])
+
+
+def test_decode_rejects_bad_version():
+    data = bytearray(encode_message(CoapMessage.get("/a", message_id=1)))
+    data[0] = (2 << 6) | (data[0] & 0x3F)
+    with pytest.raises(CoapError):
+        decode_message(bytes(data))
+
+
+def test_decode_rejects_empty_payload_after_marker():
+    data = encode_message(CoapMessage.get("/a", message_id=1)) + b"\xff"
+    with pytest.raises(CoapError):
+        decode_message(data)
+
+
+def test_server_serves_published_resources():
+    server = CoapServer()
+    server.publish("/sensors/sound", b"42")
+    request = encode_message(CoapMessage.get("/sensors/sound", message_id=11))
+    response = decode_message(server.handle(request))
+    assert response.code == CoapCode.CONTENT
+    assert response.payload == b"42"
+    assert server.request_count == 1
+
+
+def test_server_404_for_unknown_path():
+    server = CoapServer()
+    request = encode_message(CoapMessage.get("/nope", message_id=2))
+    response = decode_message(server.handle(request))
+    assert response.code == CoapCode.NOT_FOUND
+
+
+def test_server_rejects_non_get():
+    server = CoapServer()
+    post = CoapMessage(
+        mtype=CoapType.CONFIRMABLE, code=CoapCode.POST, message_id=4
+    )
+    response = decode_message(server.handle(encode_message(post)))
+    assert response.code == CoapCode.BAD_REQUEST

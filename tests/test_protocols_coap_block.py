@@ -1,0 +1,89 @@
+"""Tests for CoAP blockwise transfers (RFC 7959 subset)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocols.coap_block import (
+    VALID_BLOCK_SIZES,
+    BlockwiseServer,
+    decode_block_option,
+    encode_block_option,
+    fetch_blockwise,
+)
+
+
+@given(
+    number=st.integers(min_value=0, max_value=(1 << 20) - 1),
+    more=st.booleans(),
+    size=st.sampled_from(VALID_BLOCK_SIZES),
+)
+def test_block_option_roundtrip(number, more, size):
+    decoded = decode_block_option(encode_block_option(number, more, size))
+    assert decoded == (number, more, size)
+
+
+def test_block_option_zero_is_empty():
+    assert encode_block_option(0, False, 16) == b""
+    assert decode_block_option(b"") == (0, False, 16)
+
+
+def test_block_option_rejects_bad_values():
+    with pytest.raises(ProtocolError):
+        encode_block_option(0, False, 48)  # not a power-of-two size
+    with pytest.raises(ProtocolError):
+        encode_block_option(1 << 20, False, 64)
+    with pytest.raises(ProtocolError):
+        decode_block_option(b"\x07")  # reserved SZX
+    with pytest.raises(ProtocolError):
+        decode_block_option(b"\x00" * 4)
+
+
+def test_blockwise_fetch_reassembles_large_payload():
+    server = BlockwiseServer(block_size=64)
+    payload = bytes(range(256)) * 3  # 768 B -> 12 blocks
+    server.publish("/big", payload)
+    fetched, requests = fetch_blockwise(server, "/big")
+    assert fetched == payload
+    assert requests == 12
+
+
+def test_blockwise_single_block_payload():
+    server = BlockwiseServer(block_size=64)
+    server.publish("/small", b"tiny")
+    fetched, requests = fetch_blockwise(server, "/small")
+    assert fetched == b"tiny"
+    assert requests == 1
+
+
+def test_blockwise_block_boundary_exact_multiple():
+    server = BlockwiseServer(block_size=32)
+    payload = b"x" * 96  # exactly 3 blocks
+    server.publish("/exact", payload)
+    fetched, requests = fetch_blockwise(server, "/exact")
+    assert fetched == payload
+    assert requests == 3
+
+
+def test_blockwise_out_of_range_block_is_bad_request():
+    from repro.protocols import CoapCode, CoapMessage, decode_message, encode_message
+    from repro.protocols.coap_block import OPTION_BLOCK2
+
+    server = BlockwiseServer(block_size=64)
+    server.publish("/r", b"x" * 70)
+    request = CoapMessage.get("/r", message_id=5)
+    request.options.append((OPTION_BLOCK2, encode_block_option(9, False, 64)))
+    response = decode_message(server.handle(encode_message(request)))
+    assert response.code == CoapCode.BAD_REQUEST
+
+
+def test_blockwise_unknown_resource_404():
+    server = BlockwiseServer()
+    with pytest.raises(ProtocolError, match="4.04"):
+        fetch_blockwise(server, "/missing")
+
+
+def test_server_rejects_invalid_block_size():
+    with pytest.raises(ProtocolError):
+        BlockwiseServer(block_size=100)

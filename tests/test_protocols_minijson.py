@@ -1,0 +1,96 @@
+"""Unit tests for the from-scratch JSON codec."""
+
+import pytest
+
+from repro.protocols import JsonError, dumps, loads
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        3.5,
+        -0.125,
+        "hello",
+        "",
+        'quote " and \\ backslash',
+        "newline\nand tab\t",
+        [],
+        [1, 2, 3],
+        {"a": 1},
+        {},
+        {"nested": {"list": [1, [2, {"deep": None}]]}},
+        {"sensors": {"S1": 1013.25, "S2": 22.5}, "count": 20},
+    ],
+)
+def test_roundtrip(value):
+    assert loads(dumps(value)) == value
+
+
+def test_float_precision_survives_roundtrip():
+    value = 1013.2534879123
+    assert loads(dumps(value)) == pytest.approx(value, rel=1e-12)
+
+
+def test_control_characters_escaped():
+    encoded = dumps("\x01")
+    assert "\\u0001" in encoded
+    assert loads(encoded) == "\x01"
+
+
+def test_dumps_rejects_non_finite():
+    with pytest.raises(JsonError):
+        dumps(float("nan"))
+    with pytest.raises(JsonError):
+        dumps(float("inf"))
+
+
+def test_dumps_rejects_non_string_keys():
+    with pytest.raises(JsonError):
+        dumps({1: "a"})
+
+
+def test_dumps_rejects_unknown_types():
+    with pytest.raises(JsonError):
+        dumps(object())
+
+
+def test_loads_scientific_notation():
+    assert loads("1.5e3") == 1500.0
+    assert loads("-2E-2") == pytest.approx(-0.02)
+
+
+def test_loads_whitespace_tolerant():
+    assert loads('  { "a" : [ 1 , 2 ] }  ') == {"a": [1, 2]}
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "{",
+        "[1, 2",
+        '{"a": }',
+        '{"a" 1}',
+        '"unterminated',
+        "tru",
+        "1.2.3x",
+        '{"a": 1} trailing',
+        '"bad \\q escape"',
+        '["raw \x01 control"]',
+        '"\\u00"',
+        "-",
+    ],
+)
+def test_loads_rejects_malformed(text):
+    with pytest.raises(JsonError):
+        loads(text)
+
+
+def test_ints_stay_ints():
+    assert isinstance(loads("42"), int)
+    assert isinstance(loads("42.0"), float)

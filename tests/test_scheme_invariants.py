@@ -1,0 +1,102 @@
+"""Cross-scheme invariants: relationships that must hold whatever the
+workload, because they are structural properties of the optimizations."""
+
+import pytest
+
+from repro.apps import create_app
+from repro.core import Scheme, run_apps
+from repro.hw.power import Routine
+
+#: A representative spread: kHz single-sensor, slow multi-sensor,
+#: on-demand single-read, and multi-rate multi-sensor.
+CASES = ("A2", "A3", "A9", "A4")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return {
+        app_id: {
+            scheme: run_apps([app_id], scheme)
+            for scheme in (Scheme.BASELINE, Scheme.BATCHING, Scheme.COM)
+        }
+        for app_id in CASES
+    }
+
+
+def test_energy_ordering_baseline_batching_com(matrix):
+    """Marginal energy: baseline >= batching >= com, for every light app."""
+    for app_id, results in matrix.items():
+        baseline = results[Scheme.BASELINE].energy.marginal_j
+        batching = results[Scheme.BATCHING].energy.marginal_j
+        com = results[Scheme.COM].energy.marginal_j
+        assert baseline >= batching - 1e-9, app_id
+        assert batching >= com - 1e-9, app_id
+
+
+def test_interrupt_ordering(matrix):
+    """Interrupts: baseline = Table II count; batching/com = windows."""
+    for app_id, results in matrix.items():
+        profile = create_app(app_id).profile
+        assert (
+            results[Scheme.BASELINE].interrupt_count
+            == profile.interrupts_per_window
+        ), app_id
+        assert results[Scheme.BATCHING].interrupt_count == 1, app_id
+        assert results[Scheme.COM].interrupt_count == 1, app_id
+
+
+def test_bus_traffic_shrinks_under_com(matrix):
+    """COM moves only the result; batching still moves the window."""
+    for app_id, results in matrix.items():
+        profile = create_app(app_id).profile
+        baseline_bytes = results[Scheme.BASELINE].bus_bytes
+        batching_bytes = results[Scheme.BATCHING].bus_bytes
+        com_bytes = results[Scheme.COM].bus_bytes
+        assert baseline_bytes == profile.sensor_data_bytes, app_id
+        assert batching_bytes == profile.sensor_data_bytes, app_id
+        assert com_bytes == profile.output_bytes, app_id
+
+
+def test_collection_energy_is_scheme_invariant(matrix):
+    """Sensor reading costs the same no matter where compute happens."""
+    for app_id, results in matrix.items():
+        energies = [
+            results[scheme].energy.marginal_by_routine().get(
+                Routine.DATA_COLLECTION, 0.0
+            )
+            for scheme in (Scheme.BASELINE, Scheme.BATCHING, Scheme.COM)
+        ]
+        low, high = min(energies), max(energies)
+        assert high <= low * 1.4 + 0.05, (app_id, energies)
+
+
+def test_functional_payloads_identical_across_schemes(matrix):
+    """The computation's answer does not depend on its placement."""
+    comparable_keys = {
+        "A2": "steps",
+        "A3": "readings",
+        "A9": "frame_id",
+        "A4": "streams",
+    }
+    for app_id, results in matrix.items():
+        key = comparable_keys[app_id]
+        app_name = create_app(app_id).name
+        values = {
+            scheme: result.result_payloads(app_name)[0][key]
+            for scheme, result in results.items()
+        }
+        assert len(set(values.values())) == 1, (app_id, values)
+
+
+def test_all_schemes_meet_light_app_qos(matrix):
+    for app_id, results in matrix.items():
+        for scheme, result in results.items():
+            assert result.qos_violations == [], (app_id, scheme)
+
+
+def test_durations_stay_near_the_window(matrix):
+    """No scheme stretches a light app's window materially."""
+    for app_id, results in matrix.items():
+        window = create_app(app_id).profile.window_s
+        for scheme, result in results.items():
+            assert result.duration_s < window * 1.6, (app_id, scheme)

@@ -1,0 +1,82 @@
+"""Unit tests for Table I sensor specifications."""
+
+import pytest
+
+from repro.errors import SensorError
+from repro.sensors import TABLE_I, SensorSpec, get_spec
+from repro.units import ms, mw
+
+
+def test_table_has_all_paper_sensors():
+    assert set(TABLE_I) == {
+        "S1", "S2", "S3", "S4", "S5", "S6", "S7", "S8", "S9", "S10", "S10H",
+    }
+
+
+def test_accelerometer_matches_paper_row():
+    spec = get_spec("S4")
+    assert spec.name == "Accelerometer"
+    assert spec.bus == "Analog"
+    assert spec.read_time_s == pytest.approx(ms(0.5))
+    assert spec.typical_power_w == pytest.approx(mw(1.3))
+    assert spec.sample_bytes == 12
+    assert spec.qos_rate_hz == 1000.0
+    assert spec.mcu_friendly
+
+
+def test_only_highres_image_is_mcu_unfriendly():
+    unfriendly = [s for s in TABLE_I.values() if not s.mcu_friendly]
+    assert [s.sensor_id for s in unfriendly] == ["S10H"]
+
+
+def test_on_demand_sensors_have_effective_qos_one():
+    assert get_spec("S3").effective_qos_hz == 1.0
+    assert get_spec("S10").effective_qos_hz == 1.0
+
+
+def test_samples_per_window():
+    assert get_spec("S4").samples_per_window(1.0) == 1000
+    assert get_spec("S1").samples_per_window(1.0) == 10
+    assert get_spec("S10").samples_per_window(1.0) == 1
+    # Even tiny windows need at least one acquisition.
+    assert get_spec("S1").samples_per_window(0.01) == 1
+
+
+def test_unknown_sensor_rejected():
+    with pytest.raises(SensorError):
+        get_spec("S99")
+
+
+def test_spec_validation_power_ordering():
+    with pytest.raises(SensorError):
+        SensorSpec(
+            sensor_id="X", name="bad", bus="I2C", read_time_s=0.001,
+            min_power_w=1.0, typical_power_w=0.5, max_power_w=2.0,
+            output_type="int", sample_bytes=4, max_rate_hz=10.0,
+            qos_rate_hz=1.0,
+        )
+
+
+def test_spec_validation_qos_within_max():
+    with pytest.raises(SensorError):
+        SensorSpec(
+            sensor_id="X", name="bad", bus="I2C", read_time_s=0.001,
+            min_power_w=0.1, typical_power_w=0.5, max_power_w=2.0,
+            output_type="int", sample_bytes=4, max_rate_hz=10.0,
+            qos_rate_hz=100.0,
+        )
+
+
+def test_spec_validation_read_time():
+    with pytest.raises(SensorError):
+        SensorSpec(
+            sensor_id="X", name="bad", bus="I2C", read_time_s=0.0,
+            min_power_w=0.1, typical_power_w=0.5, max_power_w=2.0,
+            output_type="int", sample_bytes=4, max_rate_hz=10.0,
+            qos_rate_hz=1.0,
+        )
+
+
+def test_lowres_frame_matches_paper_size():
+    # 23.81 KB in Table II for one A9 frame.
+    assert get_spec("S10").sample_bytes == pytest.approx(23.81 * 1024, rel=0.01)

@@ -1,0 +1,162 @@
+"""Unit tests for synthetic waveforms."""
+
+import numpy as np
+import pytest
+
+from repro.sensors import ConstantWaveform, SlowDriftWaveform, pseudo_noise
+from repro.sensors.accelerometer import GRAVITY, SeismicWaveform, WalkingWaveform
+from repro.sensors.camera import (
+    CameraWaveform,
+    LOWRES_SHAPE,
+    encode_frame,
+    render_scene,
+)
+from repro.sensors.fingerprint import (
+    SIGNATURE_BYTES,
+    FingerprintWaveform,
+    person_template,
+    scan_of,
+)
+from repro.sensors.pulse import EcgWaveform
+from repro.sensors.sound import SpokenWordWaveform, VOCABULARY
+from repro.dsp import blockwise_idct, dequantize
+
+
+def test_pseudo_noise_deterministic_and_bounded():
+    values = [pseudo_noise(t * 0.001, seed=3) for t in range(1000)]
+    assert all(-1.0 <= v <= 1.0 for v in values)
+    assert pseudo_noise(0.123, seed=3) == pseudo_noise(0.123, seed=3)
+    assert pseudo_noise(0.123, seed=3) != pseudo_noise(0.123, seed=4)
+
+
+def test_constant_waveform():
+    assert ConstantWaveform(5.0).sample(123.0)[0] == 5.0
+
+
+def test_window_shape_and_rate():
+    waveform = ConstantWaveform(1.0)
+    window = waveform.window(0.0, 100.0, 50)
+    assert window.shape == (50, 1)
+    with pytest.raises(ValueError):
+        waveform.window(0.0, -1.0, 10)
+    with pytest.raises(ValueError):
+        waveform.window(0.0, 10.0, 0)
+
+
+def test_slow_drift_stays_in_envelope():
+    waveform = SlowDriftWaveform(base=20.0, drift_amplitude=2.0, noise_amplitude=0.1)
+    window = waveform.window(0.0, 1.0, 100)
+    assert window.min() >= 20.0 - 2.2
+    assert window.max() <= 20.0 + 2.2
+
+
+def test_walking_waveform_has_gravity_baseline():
+    waveform = WalkingWaveform(walking=False, noise_amplitude=0.0)
+    sample = waveform.sample(0.5)
+    assert sample[2] == pytest.approx(GRAVITY)
+
+
+def test_walking_waveform_step_periodicity():
+    waveform = WalkingWaveform(cadence_hz=2.0, noise_amplitude=0.0)
+    assert waveform.expected_steps(10.0) == 20
+    window = waveform.window(0.0, 100.0, 1000)[:, 2]
+    # Strong vertical activity above gravity during impacts.
+    assert window.max() > GRAVITY + 2.0
+
+
+def test_seismic_waveform_quiet_without_quake():
+    waveform = SeismicWaveform(quake_start_s=None)
+    assert not waveform.has_quake
+    window = waveform.window(0.0, 100.0, 500)
+    assert np.abs(window[:, 0]).max() < 0.05
+
+
+def test_seismic_waveform_burst_inside_interval():
+    waveform = SeismicWaveform(quake_start_s=2.0, quake_duration_s=1.0)
+    before = np.abs(waveform.window(0.0, 100.0, 150)[:, 0]).max()
+    during = np.abs(waveform.window(2.0, 100.0, 100)[:, 0]).max()
+    assert during > 10 * before
+
+
+def test_ecg_beat_times_regular():
+    waveform = EcgWaveform(heart_rate_bpm=60.0)
+    beats = waveform.beat_times(5.0)
+    assert np.allclose(np.diff(beats), 1.0)
+
+
+def test_ecg_irregular_rhythm_varies_intervals():
+    waveform = EcgWaveform(heart_rate_bpm=60.0, irregular=True)
+    intervals = np.diff(waveform.beat_times(12.0))
+    assert intervals.std() > 0.1
+
+
+def test_ecg_pulse_visible_at_beat():
+    waveform = EcgWaveform(heart_rate_bpm=60.0, noise_amplitude=0.0)
+    assert waveform.sample(1.0)[0] > 0.9
+    assert waveform.sample(1.5)[0] < 0.1
+
+
+def test_ecg_rejects_bad_params():
+    with pytest.raises(ValueError):
+        EcgWaveform(heart_rate_bpm=0.0)
+    with pytest.raises(ValueError):
+        EcgWaveform(irregularity=0.7)
+
+
+def test_spoken_word_ground_truth_positions():
+    waveform = SpokenWordWaveform(["on", "off"])
+    assert waveform.word_at(0.1)[0] == "on"
+    assert waveform.word_at(1.1)[0] == "off"
+    assert waveform.word_at(0.9) is None  # inter-word gap
+    assert waveform.word_at(5.0) is None  # past the utterances
+
+
+def test_spoken_word_rejects_unknown_words():
+    with pytest.raises(ValueError):
+        SpokenWordWaveform(["xyzzy"])
+
+
+def test_vocabulary_nonempty():
+    assert len(VOCABULARY) >= 4
+
+
+def test_render_scene_in_range():
+    scene = render_scene(LOWRES_SHAPE)
+    assert scene.shape == LOWRES_SHAPE
+    assert scene.min() >= 0.0
+    assert scene.max() <= 255.0
+
+
+def test_encode_frame_decodes_back_to_scene():
+    scene = render_scene((32, 48), frame_id=1)
+    frame = encode_frame(scene, frame_id=1)
+    decoded = blockwise_idct(dequantize(frame.levels, frame.qtable)) + 128.0
+    assert np.abs(decoded[:32, :48] - scene).mean() < 6.0
+
+
+def test_camera_waveform_frame_ids_advance():
+    camera = CameraWaveform(frame_rate_hz=2.0)
+    assert camera.frame_id_at(0.4) == 0
+    assert camera.frame_id_at(1.2) == 2
+    frame = camera.frame_at(0.0)
+    assert frame.nbytes >= LOWRES_SHAPE[0] * LOWRES_SHAPE[1]
+
+
+def test_fingerprint_templates_differ_between_people():
+    assert not np.array_equal(person_template(0), person_template(1))
+    assert person_template(0).shape == (SIGNATURE_BYTES,)
+
+
+def test_fingerprint_scan_close_to_template():
+    template = person_template(2)
+    scan = scan_of(2, scan_seed=9)
+    differing = int((template != scan).sum())
+    assert 0 < differing <= 12
+
+
+def test_fingerprint_waveform_rotates_people():
+    waveform = FingerprintWaveform(person_ids=(0, 1))
+    assert waveform.person_at(0.0) == 0
+    assert waveform.person_at(1.0) == 1
+    assert waveform.person_at(2.0) == 0
+    assert waveform.scan_at(0.0).shape == (SIGNATURE_BYTES,)

@@ -1,0 +1,68 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventQueue
+
+
+def test_pop_orders_by_time():
+    queue = EventQueue()
+    order = []
+    queue.push(2.0, lambda: order.append("late"))
+    queue.push(1.0, lambda: order.append("early"))
+    queue.push(1.5, lambda: order.append("mid"))
+    while queue:
+        queue.pop().callback()
+    assert order == ["early", "mid", "late"]
+
+
+def test_same_time_events_are_fifo():
+    queue = EventQueue()
+    order = []
+    for tag in ("a", "b", "c"):
+        queue.push(1.0, lambda tag=tag: order.append(tag))
+    while queue:
+        queue.pop().callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    event.cancel()
+    assert len(queue) == 1
+    assert queue.pop().time == 2.0
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(3.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    first.cancel()
+    assert queue.peek_time() == 3.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_pop_empty_raises():
+    with pytest.raises(SchedulingError):
+        EventQueue().pop()
+
+
+def test_nan_time_rejected():
+    with pytest.raises(SchedulingError):
+        EventQueue().push(float("nan"), lambda: None)
+
+
+def test_len_counts_only_live_events():
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(5)]
+    events[0].cancel()
+    events[3].cancel()
+    assert len(queue) == 3
+    assert bool(queue)

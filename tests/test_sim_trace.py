@@ -1,0 +1,71 @@
+"""Unit tests for the timeline recorder."""
+
+import pytest
+
+from repro.sim.trace import StateChange, TimelineRecorder
+
+
+def change(time, component="cpu", state="busy", power=5.0, routine="idle"):
+    return StateChange(
+        time=time, component=component, state=state, power_w=power, routine=routine
+    )
+
+
+def test_intervals_close_at_end_time():
+    recorder = TimelineRecorder()
+    recorder.record(change(0.0, state="idle", power=2.5))
+    recorder.record(change(1.0, state="busy", power=5.0))
+    intervals = list(recorder.intervals("cpu", end_time=3.0))
+    assert [(c.state, d) for c, d in intervals] == [("idle", 1.0), ("busy", 2.0)]
+
+
+def test_zero_length_intervals_skipped():
+    recorder = TimelineRecorder()
+    recorder.record(change(0.0, state="idle"))
+    recorder.record(change(1.0, state="busy"))
+    recorder.record(change(1.0, state="sleep", power=1.5))
+    intervals = list(recorder.intervals("cpu", end_time=2.0))
+    assert [c.state for c, _ in intervals] == ["idle", "sleep"]
+
+
+def test_out_of_order_record_rejected():
+    recorder = TimelineRecorder()
+    recorder.record(change(2.0))
+    with pytest.raises(ValueError):
+        recorder.record(change(1.0))
+
+
+def test_state_at_returns_latest_change():
+    recorder = TimelineRecorder()
+    recorder.record(change(0.0, state="sleep"))
+    recorder.record(change(5.0, state="busy"))
+    assert recorder.state_at("cpu", 2.0).state == "sleep"
+    assert recorder.state_at("cpu", 5.0).state == "busy"
+    assert recorder.state_at("cpu", 9.0).state == "busy"
+    assert recorder.state_at("mcu", 1.0) is None
+
+
+def test_time_in_state():
+    recorder = TimelineRecorder()
+    recorder.record(change(0.0, state="sleep"))
+    recorder.record(change(4.0, state="busy"))
+    recorder.record(change(6.0, state="sleep"))
+    assert recorder.time_in_state("cpu", "sleep", end_time=10.0) == pytest.approx(8.0)
+    assert recorder.time_in_state("cpu", "busy", end_time=10.0) == pytest.approx(2.0)
+
+
+def test_components_sorted():
+    recorder = TimelineRecorder()
+    recorder.record(change(0.0, component="mcu"))
+    recorder.record(change(0.0, component="cpu"))
+    assert recorder.components == ("cpu", "mcu")
+
+
+def test_render_ascii_strip():
+    recorder = TimelineRecorder()
+    recorder.record(change(0.0, state="sleep"))
+    recorder.record(change(0.5, state="busy"))
+    strip = recorder.render_ascii(
+        "cpu", end_time=1.0, width=10, state_chars={"sleep": ".", "busy": "#"}
+    )
+    assert strip == "....." + "#####"
