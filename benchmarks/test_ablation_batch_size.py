@@ -9,7 +9,7 @@ the benefit is already captured at moderate batch sizes.
 from conftest import run_once
 
 from repro.apps import create_app
-from repro.core import Scenario, Scheme, run_scenario
+from repro.core import Scenario, Scheme, grid_of, run_scenario, run_sweep
 
 BATCH_SIZES = (1, 2, 5, 10, 50, 200, 1000)
 
@@ -18,16 +18,18 @@ def _measure():
     baseline = run_scenario(
         Scenario(apps=[create_app("A2")], scheme=Scheme.BASELINE)
     )
+    points = run_sweep(
+        grid_of(batch_size=BATCH_SIZES),
+        lambda batch_size: Scenario(
+            apps=[create_app("A2")],
+            scheme=Scheme.BATCHING,
+            batch_size=batch_size,
+        ),
+    )
     sweep = {}
-    for batch_size in BATCH_SIZES:
-        result = run_scenario(
-            Scenario(
-                apps=[create_app("A2")],
-                scheme=Scheme.BATCHING,
-                batch_size=batch_size,
-            )
-        )
-        sweep[batch_size] = (
+    for point in points:
+        result = point.result
+        sweep[point.params["batch_size"]] = (
             result.interrupt_count,
             result.energy.savings_vs(baseline.energy),
         )

@@ -6,19 +6,34 @@ worst when only one of many sensors is shared); BCOM saves ~70%.
 
 from conftest import run_once
 
-from repro.core import Scheme, run_apps
+from repro.core import Scenario, Scheme, run_sweep
 from repro.workloads import FIG11_COMBOS, shared_sensors
 from repro.workloads.combos import combo_label
 
+SCHEMES = (Scheme.BASELINE, Scheme.BEAM, Scheme.BCOM)
+
+
+def fig11_grid():
+    """The Figure 11 sweep grid: 14 combos x three schemes."""
+    return [
+        {"combo": combo, "scheme": scheme}
+        for combo in FIG11_COMBOS
+        for scheme in SCHEMES
+    ]
+
+
+def fig11_factory(combo, scheme):
+    return Scenario.of(list(combo), scheme=scheme)
+
 
 def _measure():
+    sweep = run_sweep(fig11_grid(), fig11_factory)
     rows = {}
-    for combo in FIG11_COMBOS:
-        rows[combo] = {
-            Scheme.BASELINE: run_apps(list(combo), Scheme.BASELINE),
-            Scheme.BEAM: run_apps(list(combo), Scheme.BEAM),
-            Scheme.BCOM: run_apps(list(combo), Scheme.BCOM),
-        }
+    for point in sweep:
+        assert point.ok, point.error
+        rows.setdefault(point.params["combo"], {})[
+            point.params["scheme"]
+        ] = point.result
     return rows
 
 

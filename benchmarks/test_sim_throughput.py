@@ -1,11 +1,18 @@
-"""Infrastructure health: simulator throughput.
+"""Infrastructure health: simulator throughput and sweep fan-out.
 
-Not a paper figure — this tracks the kernel's events-per-second so
-regressions in the hot path (event heap, process resume, power-state
-recording) show up in benchmark history.
+Not a paper figure — this tracks the kernel's events-per-second and the
+scenario engine's parallel-sweep behavior so regressions in the hot
+path (event heap, process resume, power-state recording, pool fan-out)
+show up in benchmark history.
 """
 
-from repro.core import Scheme, run_apps
+import os
+import time
+
+from conftest import run_once
+from test_fig11_multi_app import fig11_factory, fig11_grid
+
+from repro.core import Scheme, run_apps, run_sweep
 from repro.sim import Delay, Simulator
 
 
@@ -31,3 +38,41 @@ def test_full_stack_scenario_rate(benchmark):
     """End-to-end: the step-counter baseline (1000 samples, ~6k events)."""
     result = benchmark(lambda: run_apps(["A2"], Scheme.BASELINE))
     assert result.results_ok
+
+
+def test_fig11_sweep_parallel_wallclock(benchmark, figure_printer):
+    """Fan-out check: workers=4 on the Figure 11 grid must return records
+    bit-identical to workers=1, and beat it on wall-clock whenever the
+    host actually has more than one core to fan out over."""
+
+    def measure():
+        start = time.perf_counter()
+        serial = run_sweep(fig11_grid(), fig11_factory, workers=1)
+        mid = time.perf_counter()
+        parallel = run_sweep(fig11_grid(), fig11_factory, workers=4)
+        end = time.perf_counter()
+        return serial, parallel, mid - start, end - mid
+
+    serial, parallel, t_serial, t_parallel = run_once(benchmark, measure)
+
+    def extract(result):
+        return {
+            "total_j": result.energy.total_j,
+            "duration_s": result.duration_s,
+            "interrupts": result.interrupt_count,
+        }
+
+    assert not serial.failed and not parallel.failed
+    assert serial.records(extract) == parallel.records(extract)
+    cores = os.cpu_count() or 1
+    figure_printer(
+        "Engine — Figure 11 grid fan-out",
+        f"{len(serial)} points  serial {t_serial:.2f} s  "
+        f"parallel(4) {t_parallel:.2f} s  "
+        f"speedup {t_serial / t_parallel:.2f}x on {cores} core(s)",
+    )
+    if cores >= 2:
+        # On a multi-core host the pool must win; on a single core the
+        # fork overhead makes a speedup physically impossible, so only
+        # the bit-identical records are asserted there.
+        assert t_parallel < t_serial

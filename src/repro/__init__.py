@@ -22,10 +22,13 @@ from .calibration import Calibration, default_calibration
 from .core import (
     RunResult,
     Scenario,
+    ScenarioEngine,
     ScenarioRunner,
     Scheme,
+    SchemeExecutor,
     check_offloadable,
     compare_schemes,
+    register_scheme,
     run_apps,
     run_scenario,
     savings_table,
@@ -43,8 +46,10 @@ __all__ = [
     "Routine",
     "RunResult",
     "Scenario",
+    "ScenarioEngine",
     "ScenarioRunner",
     "Scheme",
+    "SchemeExecutor",
     "__version__",
     "all_ids",
     "check_offloadable",
@@ -52,6 +57,7 @@ __all__ = [
     "create_app",
     "default_calibration",
     "light_weight_ids",
+    "register_scheme",
     "run_apps",
     "run_scenario",
     "savings_table",

@@ -5,7 +5,9 @@ Subcommands:
 * ``run A2 A4 --scheme batching --windows 2`` — simulate a scenario and
   print the result summary plus the energy breakdown.
 * ``compare A2 --schemes baseline batching com`` — run the same apps
-  under several schemes and print the normalized table.
+  under several schemes and print the normalized table (``--workers``
+  fans the schemes out in parallel, ``--cache-dir`` memoizes results).
+* ``schemes`` — list the registered execution schemes.
 * ``tables`` — print Table I and Table II.
 * ``apps`` — list the workloads with their offload verdicts.
 """
@@ -17,7 +19,7 @@ import sys
 from typing import List, Optional
 
 from .apps import all_ids, create_app
-from .core import Scheme, compare_schemes, run_apps
+from .core import Scheme, compare_schemes, run_apps, scheme_names
 from .energy.report import ROUTINE_LABELS, format_breakdown_table
 from .firmware.capability import check_offloadable
 from .hw.power import Routine
@@ -29,11 +31,16 @@ def _add_run_parser(subparsers) -> None:
     parser = subparsers.add_parser("run", help="simulate one scenario")
     parser.add_argument("apps", nargs="+", help="Table II ids (A1..A11)")
     parser.add_argument(
-        "--scheme", default=Scheme.BASELINE, choices=Scheme.ALL
+        "--scheme", default=Scheme.BASELINE, choices=scheme_names()
     )
     parser.add_argument("--windows", type=int, default=1)
     parser.add_argument(
         "--batch-size", type=int, default=None, help="partial batch size"
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="memoize results on disk by scenario fingerprint",
     )
 
 
@@ -46,9 +53,20 @@ def _add_compare_parser(subparsers) -> None:
         "--schemes",
         nargs="+",
         default=[Scheme.BASELINE, Scheme.BATCHING, Scheme.COM],
-        choices=Scheme.ALL,
+        choices=scheme_names(),
     )
     parser.add_argument("--windows", type=int, default=1)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for parallel scheme runs",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="memoize results on disk by scenario fingerprint",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,11 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_compare_parser(subparsers)
     subparsers.add_parser("tables", help="print Table I and Table II")
     subparsers.add_parser("apps", help="list workloads and offload verdicts")
+    subparsers.add_parser(
+        "schemes", help="list registered execution schemes"
+    )
     trace = subparsers.add_parser(
         "trace", help="dump a Monsoon-style power trace to CSV"
     )
     trace.add_argument("apps", nargs="+", help="Table II ids (A1..A11)")
-    trace.add_argument("--scheme", default=Scheme.BASELINE, choices=Scheme.ALL)
+    trace.add_argument(
+        "--scheme", default=Scheme.BASELINE, choices=scheme_names()
+    )
     trace.add_argument("--windows", type=int, default=1)
     trace.add_argument(
         "--out", default=None, help="CSV output path (default: stdout sparkline only)"
@@ -84,7 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args) -> int:
-    from .core import Scenario, run_scenario
+    from .core import Scenario, ScenarioEngine
 
     scenario = Scenario.of(
         args.apps,
@@ -92,7 +115,7 @@ def _cmd_run(args) -> int:
         windows=args.windows,
         batch_size=args.batch_size,
     )
-    result = run_scenario(scenario)
+    result = ScenarioEngine(cache_dir=args.cache_dir).run(scenario)
     print(result.summary())
     print("\nEnergy by routine:")
     for routine, share in sorted(
@@ -110,7 +133,11 @@ def _cmd_run(args) -> int:
 
 def _cmd_compare(args) -> int:
     results = compare_schemes(
-        args.apps, args.schemes, windows=args.windows
+        args.apps,
+        args.schemes,
+        windows=args.windows,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     baseline_key = args.schemes[0]
     print(
@@ -145,6 +172,17 @@ def _cmd_apps() -> int:
     return 0
 
 
+def _cmd_schemes() -> int:
+    from .core import iter_schemes
+
+    print(f"{'Scheme':<12}Description")
+    for name, cls in iter_schemes():
+        doc = (cls.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name:<12}{summary}")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     from .energy import PowerMonitor, power_sparkline, write_power_csv
 
@@ -176,6 +214,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_tables()
     if args.command == "apps":
         return _cmd_apps()
+    if args.command == "schemes":
+        return _cmd_schemes()
     if args.command == "trace":
         return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,27 +1,47 @@
-"""The paper's contribution: Batching, COM, BEAM and BCOM executors."""
+"""The paper's contribution: Batching, COM, BEAM and BCOM executors.
+
+Schemes are plugins (:mod:`repro.core.schemes`); the
+:class:`ScenarioEngine` adds fingerprint caching and parallel sweep
+fan-out on top of them.
+"""
 
 from ..firmware.capability import OffloadReport, check_offloadable
 from .compare import average_savings, compare_schemes, savings_table
+from .engine import ScenarioEngine, scenario_fingerprint
 from .executor import ScenarioRunner, run_apps, run_scenario
 from .results import RunResult, routine_busy_times
 from .scenario import Scenario, Scheme
+from .schemes import (
+    SchemeContext,
+    SchemeExecutor,
+    iter_schemes,
+    register_scheme,
+    scheme_names,
+)
 from .sweeps import Sweep, SweepPoint, grid_of, run_sweep
 
 __all__ = [
     "OffloadReport",
     "RunResult",
     "Scenario",
+    "ScenarioEngine",
     "ScenarioRunner",
     "Scheme",
+    "SchemeContext",
+    "SchemeExecutor",
     "Sweep",
     "SweepPoint",
     "average_savings",
     "check_offloadable",
     "compare_schemes",
     "grid_of",
+    "iter_schemes",
+    "register_scheme",
     "routine_busy_times",
     "run_apps",
     "run_scenario",
     "run_sweep",
     "savings_table",
+    "scenario_fingerprint",
+    "scheme_names",
 ]

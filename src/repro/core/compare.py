@@ -5,9 +5,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..calibration import Calibration
-from .executor import run_apps
+from .engine import ScenarioEngine
 from .results import RunResult
-from .scenario import Scheme
+from .scenario import Scenario, Scheme
 
 
 def compare_schemes(
@@ -16,22 +16,30 @@ def compare_schemes(
     windows: int = 1,
     calibration: Optional[Calibration] = None,
     waveforms=None,
+    engine: Optional[ScenarioEngine] = None,
+    workers: int = 1,
+    cache_dir=None,
 ) -> Dict[str, RunResult]:
     """Run the same apps under several schemes; returns results by scheme.
 
     Each scheme gets fresh app instances and a fresh hub, so state never
-    leaks between runs.
+    leaks between runs.  ``workers``/``cache_dir`` (or a pre-built
+    ``engine``) route the runs through the
+    :class:`~repro.core.engine.ScenarioEngine` for parallel fan-out and
+    fingerprint caching.
     """
-    return {
-        scheme: run_apps(
+    engine = engine or ScenarioEngine(workers=workers, cache_dir=cache_dir)
+    scenarios = [
+        Scenario.of(
             app_ids,
-            scheme,
+            scheme=scheme,
             windows=windows,
             calibration=calibration,
             waveforms=waveforms,
         )
         for scheme in schemes
-    }
+    ]
+    return dict(zip(schemes, engine.run_many(scenarios)))
 
 
 def savings_table(

@@ -1,0 +1,240 @@
+"""The scenario engine: fingerprinted, cached, parallel execution.
+
+Sweep grids and scheme comparisons re-simulate the same scenarios over
+and over; the :class:`ScenarioEngine` makes that cheap in two orthogonal
+ways:
+
+* **Memoization** — every scenario has a deterministic *fingerprint*
+  (scheme + apps + windows + calibration constants + waveforms + failure
+  injection).  Because the simulator itself is deterministic (no wall
+  clock, no RNG), a fingerprint fully determines the
+  :class:`~repro.core.results.RunResult`, so results can be cached on
+  disk and reused across runs and processes.
+* **Fan-out** — independent scenarios run concurrently on a
+  ``concurrent.futures`` process pool (``workers=N``).
+
+Both paths strip the live :class:`~repro.hw.board.IoTHub` from the
+result (it holds running generators and is neither picklable nor
+meaningful outside the run); in-process serial runs keep it attached,
+preserving the historical behavior of ``run_scenario``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ReproError
+from .results import RunResult
+from .scenario import Scenario
+from .schemes.base import execute_scenario
+
+#: Bump when the fingerprint payload layout changes, so stale cache
+#: entries from older library versions can never be returned.
+FINGERPRINT_VERSION = 1
+
+
+def _waveform_payload(waveform) -> Any:
+    """Stable description of a waveform for fingerprinting.
+
+    Waveforms are pure functions of time plus their constructor
+    parameters, so class identity + instance attributes pin them down.
+    Custom waveforms with unhashable internals can override this by
+    providing a ``cache_key()`` method.
+    """
+    cache_key = getattr(waveform, "cache_key", None)
+    if callable(cache_key):
+        return cache_key()
+    state = {key: repr(value) for key, value in sorted(vars(waveform).items())}
+    return [
+        f"{type(waveform).__module__}.{type(waveform).__qualname__}",
+        state,
+    ]
+
+
+def scenario_fingerprint(scenario: Scenario) -> str:
+    """Deterministic hex digest identifying a scenario's full behavior.
+
+    Two scenarios with equal fingerprints produce bit-identical
+    :class:`RunResult` metrics; anything that can change the simulation
+    (scheme, apps, windows, batch size, calibration constants, waveform
+    overrides, failure injection) feeds the digest.
+    """
+    payload = {
+        "version": FINGERPRINT_VERSION,
+        "name": scenario.name,
+        "scheme": scenario.scheme,
+        "apps": [app.table2_id for app in scenario.apps],
+        "windows": scenario.windows,
+        "batch_size": scenario.batch_size,
+        "failure_rates": sorted(scenario.sensor_failure_rates.items()),
+        "calibration": dataclasses.asdict(scenario.calibration),
+        "waveforms": {
+            sensor_id: _waveform_payload(waveform)
+            for sensor_id, waveform in sorted(scenario.waveforms.items())
+        },
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def strip_hub(result: RunResult) -> RunResult:
+    """Copy of a result without the live hub (picklable, cacheable)."""
+    if result.hub is None:
+        return result
+    return dataclasses.replace(result, hub=None)
+
+
+def _run_remote(
+    item: Tuple[int, Scenario]
+) -> Tuple[int, Optional[RunResult], Optional[ReproError]]:
+    """Pool worker: run one scenario, capturing only library errors.
+
+    Unexpected exceptions propagate through ``future.result()`` so real
+    bugs surface in the parent instead of hiding in sweep output.
+    """
+    index, scenario = item
+    try:
+        return index, strip_hub(execute_scenario(scenario)), None
+    except ReproError as exc:
+        return index, None, exc
+
+
+#: One batch outcome: a result, or the ReproError that stopped the point.
+Outcome = Union[RunResult, ReproError]
+
+
+class ScenarioEngine:
+    """Runs scenarios through the fingerprint cache and a worker pool.
+
+    ``workers=1`` executes in-process (results keep their hub attached);
+    ``workers>1`` fans independent scenarios out over a process pool.
+    ``cache_dir`` enables the on-disk result cache; cache hits return
+    hub-stripped results.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, os.PathLike]] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.workers = int(workers)
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, fingerprint: str) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, f"{fingerprint}.pkl")
+
+    def _cache_load(self, fingerprint: str) -> Optional[RunResult]:
+        if self.cache_dir is None:
+            return None
+        try:
+            with open(self._cache_path(fingerprint), "rb") as handle:
+                return pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            # A corrupt or stale entry is a miss, never an error.
+            return None
+
+    def _cache_store(self, fingerprint: str, result: RunResult) -> None:
+        if self.cache_dir is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        # Atomic publish: never leave a half-written pickle behind.
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    strip_hub(result), handle, pickle.HIGHEST_PROTOCOL
+                )
+            os.replace(tmp_path, self._cache_path(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario) -> RunResult:
+        """Run one scenario: cache hit, or simulate (and populate cache)."""
+        fingerprint = None
+        if self.cache_dir is not None:
+            fingerprint = scenario_fingerprint(scenario)
+            cached = self._cache_load(fingerprint)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        result = execute_scenario(scenario)
+        if fingerprint is not None:
+            self.cache_misses += 1
+            self._cache_store(fingerprint, result)
+        return result
+
+    def run_batch(self, scenarios: Sequence[Scenario]) -> List[Outcome]:
+        """Run many scenarios; per-point outcomes in input order.
+
+        Each outcome is either a :class:`RunResult` or the
+        :class:`ReproError` that stopped that point.  Non-library
+        exceptions always propagate — a real bug in one point aborts the
+        whole batch instead of disappearing into per-point errors.
+        """
+        outcomes: List[Optional[Outcome]] = [None] * len(scenarios)
+        pending: List[Tuple[int, Scenario]] = []
+        fingerprints: Dict[int, str] = {}
+        for index, scenario in enumerate(scenarios):
+            if self.cache_dir is not None:
+                fingerprint = scenario_fingerprint(scenario)
+                fingerprints[index] = fingerprint
+                cached = self._cache_load(fingerprint)
+                if cached is not None:
+                    self.cache_hits += 1
+                    outcomes[index] = cached
+                    continue
+            pending.append((index, scenario))
+        if self.workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            ) as pool:
+                for index, result, error in pool.map(_run_remote, pending):
+                    outcomes[index] = result if error is None else error
+        else:
+            for index, scenario in pending:
+                try:
+                    outcomes[index] = execute_scenario(scenario)
+                except ReproError as exc:
+                    outcomes[index] = exc
+        for index, scenario in pending:
+            outcome = outcomes[index]
+            if isinstance(outcome, RunResult):
+                if self.cache_dir is not None:
+                    self.cache_misses += 1
+                    self._cache_store(fingerprints[index], outcome)
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def run_many(self, scenarios: Sequence[Scenario]) -> List[RunResult]:
+        """Like :meth:`run_batch`, but library errors raise immediately."""
+        results: List[RunResult] = []
+        for outcome in self.run_batch(scenarios):
+            if isinstance(outcome, ReproError):
+                raise outcome
+            results.append(outcome)
+        return results

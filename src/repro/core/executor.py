@@ -1,727 +1,58 @@
-"""The scenario executor: runs apps on the simulated hub under a scheme.
+"""Scenario execution entry points.
 
-One :class:`ScenarioRunner` builds a fresh :class:`~repro.hw.board.IoTHub`,
-attaches the union of sensors, spawns the scheme's MCU/CPU processes, runs
-the discrete-event simulation to completion and integrates the energy.
-
-Scheme structure (one subsection of §III each):
-
-* **baseline** — per (app, sensor) polling streams on the MCU; one
-  interrupt and one per-sample CPU transfer per reading; the window
-  computation runs on the CPU.
-* **batching** — the same streams buffer into MCU RAM; one interrupt and
-  one bulk transfer per (app, window); CPU computation unchanged.
-* **com** — streams buffer on the MCU, the computation runs *on the MCU*,
-  and only the result crosses to the CPU.
-* **beam** — baseline, but apps sharing a sensor share one polling stream
-  and one transfer per sample (Shen et al., ATC'16).
-* **bcom** — offloadable apps run under com; heavy apps under batching.
+The scheme implementations live in :mod:`repro.core.schemes` (one module
+per §III subsection, found through the scheme registry); this module
+keeps the historical convenience API on top of them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Sequence
 
-from ..apps.base import AppResult, IoTApp, SampleWindow
-from ..errors import CapacityError, OffloadError, WorkloadError
-from ..firmware.batching import BatchBuffer
-from ..firmware.capability import check_offloadable
-from ..firmware.driver import mcu_transfer_busy, raise_interrupt, read_and_decode
-from ..firmware.runtime import run_offloaded_compute
-from ..hubos.governor import CpuRestPolicy, SleepGovernor
-from ..hubos.interrupts import service_interrupt
-from ..hubos.transfer import cpu_transfer
-from ..hw.mcu import McuState
-from ..hw.power import Routine
-from ..sensors.base import SensorDevice
-from ..sim.process import Delay, Signal, Wait
-from .results import RunResult, routine_busy_times
-from .scenario import Scenario, Scheme
-from ..hw.board import IoTHub
-
-
-@dataclass
-class _Stream:
-    """One MCU polling stream: a sensor feeding one or more apps.
-
-    Under BEAM, subscribers with slower QoS rates receive a decimated
-    view of the shared stream: ``strides[app]`` is how many raw samples
-    separate two deliveries to that app.
-    """
-
-    sensor_id: str
-    subscribers: List[IoTApp]
-    rate_hz: float
-    window_s: float
-    samples_per_window: int
-    sample_bytes: int
-    strides: Dict[str, int] = field(default_factory=dict)
-
-    def stride(self, app: IoTApp) -> int:
-        """Delivery stride for one subscriber (1 = every sample)."""
-        return self.strides.get(app.name, 1)
-
-    @property
-    def key(self) -> str:
-        apps = "+".join(app.name for app in self.subscribers)
-        return f"{self.sensor_id}@{apps}"
-
-
-@dataclass
-class _WindowState:
-    """Collection progress of one (app, window).
-
-    ``complete`` means every expected sample has been *collected*;
-    ``delivered`` means the CPU has received the data (post-transfer) and
-    the window computation may start.
-    """
-
-    window: SampleWindow
-    expected: Dict[str, int]
-    signal: Signal
-    complete: bool = False
-    delivered: bool = False
-    deadline_s: float = 0.0
-
-    def register(self, sample) -> bool:
-        """Add a sample; returns True when the window just completed."""
-        self.window.add(sample)
-        if self.complete:
-            return False
-        for sensor_id, needed in self.expected.items():
-            if self.window.count(sensor_id) < needed:
-                return False
-        self.complete = True
-        return True
-
-    def deliver(self) -> None:
-        """Mark the window CPU-visible and wake its compute process."""
-        self.delivered = True
-        self.signal.fire(self.window.window_index)
+from .results import RunResult
+from .scenario import Scenario
+from .schemes.base import SchemeContext, execute_scenario
+from .schemes.registry import get_scheme
 
 
 class ScenarioRunner:
-    """Executes one :class:`Scenario` and produces a :class:`RunResult`."""
+    """Executes one :class:`Scenario` and produces a :class:`RunResult`.
+
+    Thin façade over the scheme plugins, kept for backwards
+    compatibility; new code can call :func:`run_scenario` directly or go
+    through :class:`~repro.core.engine.ScenarioEngine` for caching and
+    parallel fan-out.
+    """
 
     def __init__(self, scenario: Scenario):
         self.scenario = scenario
-        self.cal = scenario.calibration
-        # Governor-less schemes keep the CPU online from the start.
-        from ..hw.cpu import CpuState
-
-        initial_cpu = (
-            CpuState.IDLE
-            if scenario.scheme in (Scheme.POLLING, Scheme.BASELINE, Scheme.BEAM)
-            else CpuState.DEEP_SLEEP
+        self.executor = get_scheme(scenario.scheme)()
+        self.ctx = SchemeContext(
+            scenario, cpu_starts_awake=self.executor.cpu_starts_awake
         )
-        self.hub = IoTHub(self.cal, cpu_initial_state=initial_cpu)
-        self.governor = SleepGovernor(self.hub.cpu)
-        self.devices: Dict[str, SensorDevice] = {}
-        for sensor_id in scenario.sensor_ids:
-            waveform = scenario.waveforms.get(sensor_id)
-            self.devices[sensor_id] = SensorDevice.attach(
-                self.hub,
-                sensor_id,
-                waveform,
-                failure_rate=scenario.sensor_failure_rates.get(sensor_id, 0.0),
-            )
-        self._windows: Dict[Tuple[str, int], _WindowState] = {}
-        self._app_results: Dict[str, List[AppResult]] = {
-            app.name: [] for app in scenario.apps
-        }
-        self._result_times: Dict[str, List[float]] = {
-            app.name: [] for app in scenario.apps
-        }
-        self._qos_violations: List[str] = []
-        self._offload_reports = {}
-        self._policy = CpuRestPolicy([])
-        self._allow_deep = False
-        self._rest_routine = Routine.DATA_TRANSFER
-        #: Next scheduled poll per stream key — the MCU's own nap governor.
-        self._mcu_next_polls: Dict[str, float] = {}
-        # The paper's baseline never sleeps (Fig. 5a: "the CPU is in
-        # active mode all the time"); race-to-sleep is part of the
-        # optimized schemes, so only those enable the governor.
-        self._use_governor = True
-        self._total_irqs = 0
 
-    # ------------------------------------------------------------------
-    # public API
-    # ------------------------------------------------------------------
+    @property
+    def hub(self):
+        """The scenario's fresh hub (built at construction time)."""
+        return self.ctx.hub
+
     def run(self) -> RunResult:
         """Execute the scenario to completion."""
-        builder = {
-            Scheme.POLLING: self._build_polling,
-            Scheme.BASELINE: self._build_baseline,
-            Scheme.BATCHING: self._build_batching,
-            Scheme.COM: self._build_com,
-            Scheme.BEAM: self._build_beam,
-            Scheme.BCOM: self._build_bcom,
-        }[self.scenario.scheme]
-        builder()
-        if self.scenario.scheme != Scheme.POLLING:
-            # The MCU board is awake whenever it owns the sensing; under
-            # main-board polling it never leaves sleep.
-            self.hub.mcu.set_idle(Routine.DATA_COLLECTION)
-        self._rest()
-        self.hub.run()
-        end_time = max(self.hub.sim.now, self.scenario.horizon_s)
-        return self._collect(end_time)
+        from ..hw.power import Routine
 
-    # ------------------------------------------------------------------
-    # shared plumbing
-    # ------------------------------------------------------------------
-    def _rest(self) -> None:
-        """Apply the governor with the scheme's schedule knowledge."""
-        if not self._use_governor:
-            if self.hub.cpu.psm.state != "busy" and not self.hub.cpu.asleep:
-                self.hub.cpu.set_idle(self._rest_routine)
-            return
-        expected = self._policy.expected_idle(self.hub.sim.now)
-        self.governor.rest(
-            expected,
-            wait_routine=self._rest_routine,
-            allow_deep=self._allow_deep,
-        )
-
-    def _mcu_rest(self, stream_key: str, next_poll: float) -> None:
-        """Let the MCU light-sleep if every stream's next poll is far off."""
-        self._mcu_next_polls[stream_key] = next_poll
-        if self.hub.mcu.psm.state != McuState.IDLE:
-            return
-        now = self.hub.sim.now
-        upcoming = min(self._mcu_next_polls.values(), default=now)
-        if upcoming - now > self.cal.mcu.sleep_threshold_s:
-            self.hub.mcu.enter_sleep(Routine.DATA_COLLECTION)
-
-    def _mcu_wake(self) -> None:
-        """Bring the MCU back online for a poll."""
-        if self.hub.mcu.psm.state == McuState.SLEEP:
-            self.hub.mcu.set_idle(Routine.DATA_COLLECTION)
-
-    def _window_state(self, app: IoTApp, index: int) -> _WindowState:
-        key = (app.name, index)
-        if key not in self._windows:
-            start = index * app.profile.window_s
-            sources = {
-                sensor_id: self.devices[sensor_id].waveform
-                for sensor_id in app.profile.sensor_ids
-            }
-            # Heavy apps are soft real-time (converting 1 s of audio takes
-            # longer than 1 s); light apps must deliver within one extra
-            # window.
-            deadline = (
-                float("inf")
-                if app.profile.heavy
-                else start + 2.0 * app.profile.window_s
-            )
-            state = _WindowState(
-                window=app.build_window(index, start, sources=sources),
-                expected={
-                    sensor_id: app.profile.samples_per_window(sensor_id)
-                    for sensor_id in app.profile.sensor_ids
-                },
-                signal=Signal(f"{app.name}.w{index}"),
-                deadline_s=deadline,
-            )
-            self._windows[key] = state
-        return self._windows[key]
-
-    def _record_result(self, app: IoTApp, result: AppResult) -> None:
-        now = self.hub.sim.now
-        self._app_results[app.name].append(result)
-        self._result_times[app.name].append(now)
-        state = self._window_state(app, result.window_index)
-        if now > state.deadline_s + 1e-9:
-            self._qos_violations.append(
-                f"{app.name} window {result.window_index}: result at "
-                f"{now * 1e3:.1f} ms, deadline {state.deadline_s * 1e3:.1f} ms"
-            )
-
-    def _streams_for(
-        self, apps: Sequence[IoTApp], shared: bool
-    ) -> List[_Stream]:
-        """Build polling streams: per-app or shared-per-sensor (BEAM)."""
-        if not shared:
-            return [
-                _Stream(
-                    sensor_id=sensor_id,
-                    subscribers=[app],
-                    rate_hz=app.profile.rate_hz(sensor_id),
-                    window_s=app.profile.window_s,
-                    samples_per_window=app.profile.samples_per_window(sensor_id),
-                    sample_bytes=app.profile.sample_bytes(sensor_id),
-                )
-                for app in apps
-                for sensor_id in app.profile.sensor_ids
-            ]
-        by_sensor: Dict[str, List[IoTApp]] = {}
-        for app in apps:
-            for sensor_id in app.profile.sensor_ids:
-                by_sensor.setdefault(sensor_id, []).append(app)
-        streams = []
-        for sensor_id, subscribers in by_sensor.items():
-            windows = {app.profile.window_s for app in subscribers}
-            if len(windows) > 1:
-                raise WorkloadError(
-                    f"BEAM cannot share {sensor_id}: subscribers disagree "
-                    f"on window length"
-                )
-            # Poll at the fastest subscriber's rate; slower subscribers
-            # get a decimated view (their rate must divide the fastest).
-            fastest = max(app.profile.rate_hz(sensor_id) for app in subscribers)
-            strides: Dict[str, int] = {}
-            for app in subscribers:
-                ratio = fastest / app.profile.rate_hz(sensor_id)
-                stride = int(round(ratio))
-                if abs(ratio - stride) > 1e-9 or stride < 1:
-                    raise WorkloadError(
-                        f"BEAM cannot share {sensor_id}: {app.name}'s rate "
-                        f"does not divide the fastest subscriber's"
-                    )
-                strides[app.name] = stride
-            reference = max(
-                subscribers, key=lambda app: app.profile.rate_hz(sensor_id)
-            )
-            streams.append(
-                _Stream(
-                    sensor_id=sensor_id,
-                    subscribers=list(subscribers),
-                    rate_hz=fastest,
-                    window_s=reference.profile.window_s,
-                    samples_per_window=reference.profile.samples_per_window(
-                        sensor_id
-                    ),
-                    sample_bytes=max(
-                        app.profile.sample_bytes(sensor_id) for app in subscribers
-                    ),
-                    strides=strides,
-                )
-            )
-        return streams
-
-    # ------------------------------------------------------------------
-    # MCU-side processes
-    # ------------------------------------------------------------------
-    def _poll_stream_interrupting(self, stream: _Stream):
-        """Baseline/BEAM: poll and interrupt the CPU per sample."""
-        device = self.devices[stream.sensor_id]
-        for window_index in range(self.scenario.windows):
-            window_start = window_index * stream.window_s
-            for k in range(stream.samples_per_window):
-                target = window_start + k / stream.rate_hz
-                now = self.hub.sim.now
-                if target > now:
-                    self._mcu_rest(stream.key, target)
-                    yield Delay(target - now)
-                self._mcu_wake()
-                sample = yield from read_and_decode(self.hub, device)
-                yield from raise_interrupt(
-                    self.hub, "sample", (stream, window_index, k, sample)
-                )
-                yield from mcu_transfer_busy(self.hub, 1, bulk=False)
-        self._mcu_next_polls.pop(stream.key, None)
-
-    def _poll_stream_buffering(
-        self,
-        stream: _Stream,
-        app: IoTApp,
-        coordinator: Dict[int, int],
-        buffer: BatchBuffer,
-        on_window_full,
-    ):
-        """Batching/COM: poll into MCU RAM; last stream triggers hand-off.
-
-        ``buffer`` is shared among the app's streams; ``coordinator``
-        counts completed streams per window, and whichever stream finishes
-        an app window last invokes the ``on_window_full(window_index,
-        buffer)`` generator.
-        """
-        device = self.devices[stream.sensor_id]
-        stream_count = len(app.profile.sensor_ids)
-        for window_index in range(self.scenario.windows):
-            window_start = window_index * stream.window_s
-            for k in range(stream.samples_per_window):
-                target = window_start + k / stream.rate_hz
-                now = self.hub.sim.now
-                if target > now:
-                    self._mcu_rest(stream.key, target)
-                    yield Delay(target - now)
-                self._mcu_wake()
-                sample = yield from read_and_decode(self.hub, device)
-                if buffer is not None:
-                    try:
-                        buffer.add(sample, stream.sample_bytes)
-                    except CapacityError as exc:
-                        self._qos_violations.append(str(exc))
-                state = self._window_state(app, window_index)
-                state.register(sample)
-                if (
-                    buffer is not None
-                    and self.scenario.batch_size is not None
-                    and buffer.sample_count >= self.scenario.batch_size
-                    and not state.complete
-                ):
-                    # Partial flush: ship the accumulated batch early.
-                    yield from self._ship_batch(
-                        app, window_index, buffer, final=False
-                    )
-            coordinator[window_index] = coordinator.get(window_index, 0) + 1
-            if coordinator[window_index] == stream_count:
-                yield from on_window_full(window_index, buffer)
-        self._mcu_next_polls.pop(stream.key, None)
-
-    def _ship_batch(
-        self, app: IoTApp, window_index: int, buffer: BatchBuffer, final: bool
-    ):
-        """MCU side of one batch hand-off (interrupt + bulk put).
-
-        The buffer is drained synchronously here so concurrently polling
-        streams start filling a fresh batch; its RAM is released once the
-        payload is on the bus.
-        """
-        nbytes = max(1, buffer.buffered_bytes)
-        samples = buffer.flush()
-        count = len(samples)
-        yield from raise_interrupt(
-            self.hub, "batch", (app, window_index, count, nbytes, final)
-        )
-        yield from mcu_transfer_busy(self.hub, max(1, count), bulk=True)
-
-    def _batch_handoff(self, app: IoTApp):
-        """Make the batching hand-off generator for one app."""
-
-        def handoff(window_index: int, buffer: BatchBuffer):
-            yield from self._ship_batch(app, window_index, buffer, final=True)
-
-        return handoff
-
-    def _com_handoff(self, app: IoTApp):
-        """Make the COM hand-off: compute on MCU, ship only the result."""
-
-        def handoff(window_index: int, buffer):
-            state = self._window_state(app, window_index)
-            result = yield from run_offloaded_compute(
-                self.hub, app, state.window
-            )
-            yield from raise_interrupt(
-                self.hub, "result", (app, window_index, result)
-            )
-            yield from mcu_transfer_busy(self.hub, 1, bulk=False)
-
-        return handoff
-
-    # ------------------------------------------------------------------
-    # CPU-side processes
-    # ------------------------------------------------------------------
-    def _dispatcher(self):
-        """The CPU's interrupt service loop (one process for the hub).
-
-        Runs until the simulation drains: blocking on the interrupt signal
-        schedules no events, so the kernel terminates naturally once all
-        device activity is over.
-        """
-        while True:
-            request = yield from self.hub.irq.wait()
-            yield from service_interrupt(self.hub)
-            if request.vector == "sample":
-                stream, window_index, k, sample = request.payload
-                yield from cpu_transfer(
-                    self.hub, stream.sample_bytes, 1, bulk=False
-                )
-                for app in stream.subscribers:
-                    if k % stream.stride(app) != 0:
-                        continue  # decimated subscriber skips this sample
-                    state = self._window_state(app, window_index)
-                    if state.register(sample):
-                        state.deliver()
-            elif request.vector == "batch":
-                app, window_index, count, nbytes, final = request.payload
-                yield from cpu_transfer(
-                    self.hub, nbytes, max(1, count), bulk=True
-                )
-                if final:
-                    state = self._window_state(app, window_index)
-                    if not state.complete:
-                        raise WorkloadError(
-                            f"{app.name} batch window {window_index} incomplete"
-                        )
-                    state.deliver()
-            elif request.vector == "result":
-                app, window_index, result = request.payload
-                yield from cpu_transfer(
-                    self.hub, app.profile.output_bytes, 1, bulk=False
-                )
-                self._record_result(app, result)
-                yield from self.hub.nic.send(
-                    app.profile.output_bytes, Routine.APP_COMPUTE
-                )
-            else:  # pragma: no cover - defensive
-                raise WorkloadError(f"unknown vector {request.vector!r}")
-            if self.hub.irq.pending_count == 0:
-                self._rest()
-
-    def _cpu_compute_process(self, app: IoTApp):
-        """Window computation on the CPU (baseline/batching/beam)."""
-        for window_index in range(self.scenario.windows):
-            state = self._window_state(app, window_index)
-            if not state.delivered:
-                yield Wait(state.signal)
-            if self.hub.cpu.asleep:
-                yield from self.hub.cpu.wake(Routine.APP_COMPUTE)
-            yield from self.hub.cpu.core.acquire()
-            result = app.compute(state.window)
-            yield from self.hub.cpu.execute(
-                app.profile.cpu_compute_time_s(self.cal),
-                Routine.APP_COMPUTE,
-                instructions=app.profile.instructions,
-            )
-            self.hub.cpu.core.release()
-            self._record_result(app, result)
-            yield from self.hub.nic.send(
-                app.profile.output_bytes, Routine.APP_COMPUTE
-            )
-            self._rest()
-
-    # ------------------------------------------------------------------
-    # scheme builders
-    # ------------------------------------------------------------------
-    def _sample_times(self, streams: Sequence[_Stream]) -> List[float]:
-        times: List[float] = []
-        for stream in streams:
-            for window_index in range(self.scenario.windows):
-                start = window_index * stream.window_s
-                times.extend(
-                    start + k / stream.rate_hz
-                    for k in range(stream.samples_per_window)
-                )
-        return times
-
-    def _window_boundaries(self, apps: Sequence[IoTApp]) -> List[float]:
-        return [
-            (window_index + 1) * app.profile.window_s
-            for app in apps
-            for window_index in range(self.scenario.windows)
-        ]
-
-    def _poll_stream_cpu(self, stream: _Stream):
-        """§II-A main-board polling: the CPU blocks on each read."""
-        from ..hubos.polling import cpu_blocking_read
-
-        device = self.devices[stream.sensor_id]
-        for window_index in range(self.scenario.windows):
-            window_start = window_index * stream.window_s
-            for k in range(stream.samples_per_window):
-                target = window_start + k / stream.rate_hz
-                now = self.hub.sim.now
-                if target > now:
-                    yield Delay(target - now)
-                sample = yield from cpu_blocking_read(self.hub, device)
-                for app in stream.subscribers:
-                    state = self._window_state(app, window_index)
-                    if state.register(sample):
-                        state.deliver()
-
-    def _build_polling(self) -> None:
-        """Sensors on the main board; the MCU stays asleep throughout."""
-        apps = self.scenario.apps
-        streams = self._streams_for(apps, shared=False)
-        self._policy = CpuRestPolicy(
-            self._sample_times(streams) + self._window_boundaries(apps)
-        )
-        self._allow_deep = False
-        self._use_governor = False
-        for stream in streams:
-            self.hub.sim.spawn(
-                self._poll_stream_cpu(stream), name=f"cpupoll:{stream.key}"
-            )
-        for app in apps:
-            self.hub.sim.spawn(
-                self._cpu_compute_process(app), name=f"compute:{app.name}"
-            )
-
-    def _build_baseline(self) -> None:
-        self._build_interrupting(shared=False)
-
-    def _build_beam(self) -> None:
-        self._build_interrupting(shared=True)
-
-    def _build_interrupting(self, shared: bool) -> None:
-        apps = self.scenario.apps
-        streams = self._streams_for(apps, shared=shared)
-        total = sum(
-            stream.samples_per_window * self.scenario.windows
-            for stream in streams
-        )
-        self._total_irqs = total
-        self._policy = CpuRestPolicy(
-            self._sample_times(streams) + self._window_boundaries(apps)
-        )
-        self._allow_deep = False
-        self._use_governor = False
-        for stream in streams:
-            self.hub.sim.spawn(
-                self._poll_stream_interrupting(stream),
-                name=f"poll:{stream.key}",
-            )
-        self.hub.sim.spawn(self._dispatcher(), name="dispatcher")
-        for app in apps:
-            self.hub.sim.spawn(
-                self._cpu_compute_process(app), name=f"compute:{app.name}"
-            )
-
-    def _build_batching(self) -> None:
-        self._build_buffered(
-            com_apps=[], batch_apps=list(self.scenario.apps)
-        )
-
-    def _build_com(self) -> None:
-        for app in self.scenario.apps:
-            report = check_offloadable(app, self.cal)
-            self._offload_reports[app.name] = report
-            if not report:
-                raise OffloadError(
-                    f"{app.name} cannot be offloaded: {'; '.join(report.reasons)}"
-                )
-        self._build_buffered(
-            com_apps=list(self.scenario.apps), batch_apps=[]
-        )
-
-    def _build_bcom(self) -> None:
-        from ..firmware.capability import OffloadReport
-
-        com_apps: List[IoTApp] = []
-        batch_apps: List[IoTApp] = []
-        candidates: List[IoTApp] = []
-        for app in self.scenario.apps:
-            report = check_offloadable(app, self.cal)
-            self._offload_reports[app.name] = report
-            (candidates if report else batch_apps).append(app)
-        # Greedy pack: smallest footprints first maximizes the number of
-        # apps that escape the CPU; the rest fall back to Batching.
-        budget = self.hub.mcu.ram.free_bytes
-        for app in sorted(candidates, key=lambda a: a.profile.mcu_footprint_bytes):
-            footprint = app.profile.mcu_footprint_bytes
-            if footprint <= budget:
-                budget -= footprint
-                com_apps.append(app)
-            else:
-                batch_apps.append(app)
-                self._offload_reports[app.name] = OffloadReport(
-                    app_name=app.name,
-                    offloadable=False,
-                    reasons=[
-                        "MCU RAM contention: other offloaded apps already "
-                        "occupy the remaining capacity"
-                    ],
-                    mcu_compute_time_s=app.profile.mcu_compute_time_s(self.cal),
-                    required_ram_bytes=footprint,
-                )
-        self._build_buffered(com_apps=com_apps, batch_apps=batch_apps)
-
-    def _build_buffered(
-        self, com_apps: List[IoTApp], batch_apps: List[IoTApp]
-    ) -> None:
-        """Shared builder for batching / com / bcom."""
-        events = 0
-        work_times: List[float] = []
-        for app in com_apps:
-            # Reserve the offloaded build (code/heap + stream ring) on the
-            # MCU for the whole run; samples stream through the ring, so no
-            # per-sample batch allocation happens for COM apps.
-            self.hub.mcu.ram.allocate(
-                f"app:{app.name}", app.profile.mcu_footprint_bytes
-            )
-            coordinator: Dict[int, int] = {}
-            handoff = self._com_handoff(app)
-            for stream in self._streams_for([app], shared=False):
-                self.hub.sim.spawn(
-                    self._poll_stream_buffering(
-                        stream, app, coordinator, None, handoff
-                    ),
-                    name=f"com:{stream.key}",
-                )
-            events += self.scenario.windows
-            work_times.extend(
-                (w + 1) * app.profile.window_s
-                + app.profile.mcu_compute_time_s(self.cal)
-                for w in range(self.scenario.windows)
-            )
-        for app in batch_apps:
-            coordinator = {}
-            buffer = BatchBuffer(self.hub.mcu.ram, f"batch:{app.name}")
-            handoff = self._batch_handoff(app)
-            for stream in self._streams_for([app], shared=False):
-                self.hub.sim.spawn(
-                    self._poll_stream_buffering(
-                        stream, app, coordinator, buffer, handoff
-                    ),
-                    name=f"batch:{stream.key}",
-                )
-            events += self.scenario.windows
-            work_times.extend(self._window_boundaries([app]))
-            if self.scenario.batch_size is not None:
-                # Partial batches arrive roughly every batch_size samples.
-                sample_times = sorted(
-                    self._sample_times(self._streams_for([app], shared=False))
-                )
-                work_times.extend(
-                    sample_times[:: self.scenario.batch_size]
-                )
-            self.hub.sim.spawn(
-                self._cpu_compute_process(app), name=f"compute:{app.name}"
-            )
-        self._total_irqs = events
-        self._policy = CpuRestPolicy(work_times)
-        # Deep sleep is only safe when no batch needs prompt ingestion;
-        # and with the CPU fully relieved (pure COM) its rest time is the
-        # hub's idle floor, not app wait time.
-        self._allow_deep = not batch_apps
-        if not batch_apps:
-            self._rest_routine = Routine.IDLE
-        self.hub.sim.spawn(self._dispatcher(), name="dispatcher")
-
-    # ------------------------------------------------------------------
-    # measurement
-    # ------------------------------------------------------------------
-    def _collect(self, end_time: float) -> RunResult:
-        from ..energy.meter import PowerMonitor
-
-        monitor = PowerMonitor(self.hub.recorder, self.cal.idle_hub_power_w)
-        energy = monitor.measure(end_time)
-        missing = [
-            app.name
-            for app in self.scenario.apps
-            if len(self._app_results[app.name]) != self.scenario.windows
-        ]
-        if missing:
-            raise WorkloadError(
-                f"scenario {self.scenario.name}: apps without complete "
-                f"results: {missing}"
-            )
-        return RunResult(
-            scenario_name=self.scenario.name,
-            scheme=self.scenario.scheme,
-            app_ids=[app.table2_id for app in self.scenario.apps],
-            windows=self.scenario.windows,
-            duration_s=end_time,
-            energy=energy,
-            busy_times=routine_busy_times(self.hub, end_time),
-            app_results=dict(self._app_results),
-            result_times=dict(self._result_times),
-            qos_violations=list(self._qos_violations),
-            interrupt_count=self.hub.irq.raised_count,
-            cpu_wake_count=self.hub.cpu.wake_count,
-            bus_bytes=self.hub.bus.bytes_transferred,
-            offload_reports=dict(self._offload_reports),
-            hub=self.hub,
-        )
+        ctx, executor = self.ctx, self.executor
+        executor.build(ctx)
+        if executor.mcu_owns_sensing:
+            ctx.hub.mcu.set_idle(Routine.DATA_COLLECTION)
+        ctx.rest()
+        ctx.hub.run()
+        end_time = max(ctx.hub.sim.now, self.scenario.horizon_s)
+        return ctx.collect(end_time)
 
 
 def run_scenario(scenario: Scenario) -> RunResult:
-    """Convenience wrapper: build a runner and execute it."""
-    return ScenarioRunner(scenario).run()
+    """Execute one scenario under its registered scheme."""
+    return execute_scenario(scenario)
 
 
 def run_apps(

@@ -28,6 +28,9 @@ class Scheme:
     BEAM = "beam"
     BCOM = "bcom"
 
+    #: The paper's six schemes.  The authoritative set of *runnable*
+    #: schemes is the registry (``repro.core.schemes.scheme_names()``),
+    #: which also includes any plugin schemes registered at import time.
     ALL: Tuple[str, ...] = (POLLING, BASELINE, BATCHING, COM, BEAM, BCOM)
 
 
@@ -56,7 +59,11 @@ class Scenario:
     def __post_init__(self) -> None:
         if not self.apps:
             raise WorkloadError("scenario has no apps")
-        if self.scheme not in Scheme.ALL:
+        # Late import so schemes registered after this module loaded
+        # (plugins) are honored at validation time.
+        from .schemes.registry import scheme_names
+
+        if self.scheme not in scheme_names():
             raise WorkloadError(f"unknown scheme {self.scheme!r}")
         if self.windows < 1:
             raise WorkloadError(f"need at least one window, got {self.windows}")

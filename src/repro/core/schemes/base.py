@@ -1,0 +1,575 @@
+"""Scheme-plugin protocol and the shared execution plumbing.
+
+A scheme is a small class: a :class:`SchemeExecutor` subclass whose
+``build`` wires MCU-side and CPU-side processes onto a
+:class:`SchemeContext`.  The context owns everything every scheme needs
+— the hub, the sensor devices, polling-stream construction, window
+bookkeeping, the interrupt dispatcher, the CPU compute loop and the
+sleep governor — so a new scheme is one new file that composes these
+primitives, not an edit to a god-module.
+
+:func:`execute_scenario` is the single entry point: look the scheme up
+in the registry, build a fresh context, run the discrete-event
+simulation to completion and integrate the energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Sequence, Tuple
+
+from ...apps.base import AppResult, IoTApp, SampleWindow
+from ...errors import CapacityError, WorkloadError
+from ...firmware.batching import BatchBuffer
+from ...firmware.driver import (
+    mcu_transfer_busy,
+    raise_interrupt,
+    read_and_decode,
+)
+from ...firmware.runtime import run_offloaded_compute
+from ...hubos.governor import CpuRestPolicy, SleepGovernor
+from ...hubos.interrupts import service_interrupt
+from ...hubos.polling import cpu_blocking_read
+from ...hubos.transfer import cpu_transfer
+from ...hw.board import IoTHub
+from ...hw.cpu import CpuState
+from ...hw.mcu import McuState
+from ...hw.power import Routine
+from ...sensors.base import SensorDevice
+from ...sim.process import Delay, Signal, Wait
+from ..results import RunResult, routine_busy_times
+from .registry import get_scheme
+
+
+@dataclass
+class Stream:
+    """One MCU polling stream: a sensor feeding one or more apps.
+
+    Under BEAM, subscribers with slower QoS rates receive a decimated
+    view of the shared stream: ``strides[app]`` is how many raw samples
+    separate two deliveries to that app.
+    """
+
+    sensor_id: str
+    subscribers: List[IoTApp]
+    rate_hz: float
+    window_s: float
+    samples_per_window: int
+    sample_bytes: int
+    strides: Dict[str, int] = field(default_factory=dict)
+
+    def stride(self, app: IoTApp) -> int:
+        """Delivery stride for one subscriber (1 = every sample)."""
+        return self.strides.get(app.name, 1)
+
+    @property
+    def key(self) -> str:
+        apps = "+".join(app.name for app in self.subscribers)
+        return f"{self.sensor_id}@{apps}"
+
+
+@dataclass
+class WindowState:
+    """Collection progress of one (app, window).
+
+    ``complete`` means every expected sample has been *collected*;
+    ``delivered`` means the CPU has received the data (post-transfer) and
+    the window computation may start.
+    """
+
+    window: SampleWindow
+    expected: Dict[str, int]
+    signal: Signal
+    complete: bool = False
+    delivered: bool = False
+    deadline_s: float = 0.0
+
+    def register(self, sample) -> bool:
+        """Add a sample; returns True when the window just completed."""
+        self.window.add(sample)
+        if self.complete:
+            return False
+        for sensor_id, needed in self.expected.items():
+            if self.window.count(sensor_id) < needed:
+                return False
+        self.complete = True
+        return True
+
+    def deliver(self) -> None:
+        """Mark the window CPU-visible and wake its compute process."""
+        self.delivered = True
+        self.signal.fire(self.window.window_index)
+
+
+class SchemeContext:
+    """Shared stream/window/governor plumbing handed to a scheme's build.
+
+    Holds the fresh :class:`~repro.hw.board.IoTHub`, the attached sensor
+    devices and all scheme-agnostic process generators.  A scheme's
+    ``build`` spawns processes and sets the governor knobs (``policy``,
+    ``allow_deep``, ``use_governor``, ``rest_routine``).
+    """
+
+    def __init__(self, scenario, cpu_starts_awake: bool = False):
+        self.scenario = scenario
+        self.cal = scenario.calibration
+        # Governor-less schemes keep the CPU online from the start.
+        initial_cpu = CpuState.IDLE if cpu_starts_awake else CpuState.DEEP_SLEEP
+        self.hub = IoTHub(self.cal, cpu_initial_state=initial_cpu)
+        self.governor = SleepGovernor(self.hub.cpu)
+        self.devices: Dict[str, SensorDevice] = {}
+        for sensor_id in scenario.sensor_ids:
+            waveform = scenario.waveforms.get(sensor_id)
+            self.devices[sensor_id] = SensorDevice.attach(
+                self.hub,
+                sensor_id,
+                waveform,
+                failure_rate=scenario.sensor_failure_rates.get(sensor_id, 0.0),
+            )
+        self._windows: Dict[Tuple[str, int], WindowState] = {}
+        self._app_results: Dict[str, List[AppResult]] = {
+            app.name: [] for app in scenario.apps
+        }
+        self._result_times: Dict[str, List[float]] = {
+            app.name: [] for app in scenario.apps
+        }
+        self.qos_violations: List[str] = []
+        self.offload_reports = {}
+        #: Governor knobs, set by the scheme's ``build``.
+        self.policy = CpuRestPolicy([])
+        self.allow_deep = False
+        self.rest_routine = Routine.DATA_TRANSFER
+        # The paper's baseline never sleeps (Fig. 5a: "the CPU is in
+        # active mode all the time"); race-to-sleep is part of the
+        # optimized schemes, so only those enable the governor.
+        self.use_governor = True
+        self.total_irqs = 0
+        #: Next scheduled poll per stream key — the MCU's own nap governor.
+        self._mcu_next_polls: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # governor plumbing
+    # ------------------------------------------------------------------
+    def rest(self) -> None:
+        """Apply the governor with the scheme's schedule knowledge."""
+        if not self.use_governor:
+            if self.hub.cpu.psm.state != "busy" and not self.hub.cpu.asleep:
+                self.hub.cpu.set_idle(self.rest_routine)
+            return
+        expected = self.policy.expected_idle(self.hub.sim.now)
+        self.governor.rest(
+            expected,
+            wait_routine=self.rest_routine,
+            allow_deep=self.allow_deep,
+        )
+
+    def mcu_rest(self, stream_key: str, next_poll: float) -> None:
+        """Let the MCU light-sleep if every stream's next poll is far off."""
+        self._mcu_next_polls[stream_key] = next_poll
+        if self.hub.mcu.psm.state != McuState.IDLE:
+            return
+        now = self.hub.sim.now
+        upcoming = min(self._mcu_next_polls.values(), default=now)
+        if upcoming - now > self.cal.mcu.sleep_threshold_s:
+            self.hub.mcu.enter_sleep(Routine.DATA_COLLECTION)
+
+    def mcu_wake(self) -> None:
+        """Bring the MCU back online for a poll."""
+        if self.hub.mcu.psm.state == McuState.SLEEP:
+            self.hub.mcu.set_idle(Routine.DATA_COLLECTION)
+
+    # ------------------------------------------------------------------
+    # window bookkeeping
+    # ------------------------------------------------------------------
+    def window_state(self, app: IoTApp, index: int) -> WindowState:
+        key = (app.name, index)
+        if key not in self._windows:
+            start = index * app.profile.window_s
+            sources = {
+                sensor_id: self.devices[sensor_id].waveform
+                for sensor_id in app.profile.sensor_ids
+            }
+            # Heavy apps are soft real-time (converting 1 s of audio takes
+            # longer than 1 s); light apps must deliver within one extra
+            # window.
+            deadline = (
+                float("inf")
+                if app.profile.heavy
+                else start + 2.0 * app.profile.window_s
+            )
+            state = WindowState(
+                window=app.build_window(index, start, sources=sources),
+                expected={
+                    sensor_id: app.profile.samples_per_window(sensor_id)
+                    for sensor_id in app.profile.sensor_ids
+                },
+                signal=Signal(f"{app.name}.w{index}"),
+                deadline_s=deadline,
+            )
+            self._windows[key] = state
+        return self._windows[key]
+
+    def record_result(self, app: IoTApp, result: AppResult) -> None:
+        now = self.hub.sim.now
+        self._app_results[app.name].append(result)
+        self._result_times[app.name].append(now)
+        state = self.window_state(app, result.window_index)
+        if now > state.deadline_s + 1e-9:
+            self.qos_violations.append(
+                f"{app.name} window {result.window_index}: result at "
+                f"{now * 1e3:.1f} ms, deadline {state.deadline_s * 1e3:.1f} ms"
+            )
+
+    # ------------------------------------------------------------------
+    # stream construction
+    # ------------------------------------------------------------------
+    def streams_for(
+        self, apps: Sequence[IoTApp], shared: bool
+    ) -> List[Stream]:
+        """Build polling streams: per-app or shared-per-sensor (BEAM)."""
+        if not shared:
+            return [
+                Stream(
+                    sensor_id=sensor_id,
+                    subscribers=[app],
+                    rate_hz=app.profile.rate_hz(sensor_id),
+                    window_s=app.profile.window_s,
+                    samples_per_window=app.profile.samples_per_window(sensor_id),
+                    sample_bytes=app.profile.sample_bytes(sensor_id),
+                )
+                for app in apps
+                for sensor_id in app.profile.sensor_ids
+            ]
+        by_sensor: Dict[str, List[IoTApp]] = {}
+        for app in apps:
+            for sensor_id in app.profile.sensor_ids:
+                by_sensor.setdefault(sensor_id, []).append(app)
+        streams = []
+        for sensor_id, subscribers in by_sensor.items():
+            windows = {app.profile.window_s for app in subscribers}
+            if len(windows) > 1:
+                raise WorkloadError(
+                    f"BEAM cannot share {sensor_id}: subscribers disagree "
+                    f"on window length"
+                )
+            # Poll at the fastest subscriber's rate; slower subscribers
+            # get a decimated view (their rate must divide the fastest).
+            fastest = max(app.profile.rate_hz(sensor_id) for app in subscribers)
+            strides: Dict[str, int] = {}
+            for app in subscribers:
+                ratio = fastest / app.profile.rate_hz(sensor_id)
+                stride = int(round(ratio))
+                if abs(ratio - stride) > 1e-9 or stride < 1:
+                    raise WorkloadError(
+                        f"BEAM cannot share {sensor_id}: {app.name}'s rate "
+                        f"does not divide the fastest subscriber's"
+                    )
+                strides[app.name] = stride
+            reference = max(
+                subscribers, key=lambda app: app.profile.rate_hz(sensor_id)
+            )
+            streams.append(
+                Stream(
+                    sensor_id=sensor_id,
+                    subscribers=list(subscribers),
+                    rate_hz=fastest,
+                    window_s=reference.profile.window_s,
+                    samples_per_window=reference.profile.samples_per_window(
+                        sensor_id
+                    ),
+                    sample_bytes=max(
+                        app.profile.sample_bytes(sensor_id) for app in subscribers
+                    ),
+                    strides=strides,
+                )
+            )
+        return streams
+
+    def sample_times(self, streams: Sequence[Stream]) -> List[float]:
+        times: List[float] = []
+        for stream in streams:
+            for window_index in range(self.scenario.windows):
+                start = window_index * stream.window_s
+                times.extend(
+                    start + k / stream.rate_hz
+                    for k in range(stream.samples_per_window)
+                )
+        return times
+
+    def window_boundaries(self, apps: Sequence[IoTApp]) -> List[float]:
+        return [
+            (window_index + 1) * app.profile.window_s
+            for app in apps
+            for window_index in range(self.scenario.windows)
+        ]
+
+    # ------------------------------------------------------------------
+    # MCU-side processes
+    # ------------------------------------------------------------------
+    def poll_stream_interrupting(self, stream: Stream):
+        """Baseline/BEAM: poll and interrupt the CPU per sample."""
+        device = self.devices[stream.sensor_id]
+        for window_index in range(self.scenario.windows):
+            window_start = window_index * stream.window_s
+            for k in range(stream.samples_per_window):
+                target = window_start + k / stream.rate_hz
+                now = self.hub.sim.now
+                if target > now:
+                    self.mcu_rest(stream.key, target)
+                    yield Delay(target - now)
+                self.mcu_wake()
+                sample = yield from read_and_decode(self.hub, device)
+                yield from raise_interrupt(
+                    self.hub, "sample", (stream, window_index, k, sample)
+                )
+                yield from mcu_transfer_busy(self.hub, 1, bulk=False)
+        self._mcu_next_polls.pop(stream.key, None)
+
+    def poll_stream_buffering(
+        self,
+        stream: Stream,
+        app: IoTApp,
+        coordinator: Dict[int, int],
+        buffer: BatchBuffer,
+        on_window_full,
+    ):
+        """Batching/COM: poll into MCU RAM; last stream triggers hand-off.
+
+        ``buffer`` is shared among the app's streams; ``coordinator``
+        counts completed streams per window, and whichever stream finishes
+        an app window last invokes the ``on_window_full(window_index,
+        buffer)`` generator.
+        """
+        device = self.devices[stream.sensor_id]
+        stream_count = len(app.profile.sensor_ids)
+        for window_index in range(self.scenario.windows):
+            window_start = window_index * stream.window_s
+            for k in range(stream.samples_per_window):
+                target = window_start + k / stream.rate_hz
+                now = self.hub.sim.now
+                if target > now:
+                    self.mcu_rest(stream.key, target)
+                    yield Delay(target - now)
+                self.mcu_wake()
+                sample = yield from read_and_decode(self.hub, device)
+                if buffer is not None:
+                    try:
+                        buffer.add(sample, stream.sample_bytes)
+                    except CapacityError as exc:
+                        self.qos_violations.append(str(exc))
+                state = self.window_state(app, window_index)
+                state.register(sample)
+                if (
+                    buffer is not None
+                    and self.scenario.batch_size is not None
+                    and buffer.sample_count >= self.scenario.batch_size
+                    and not state.complete
+                ):
+                    # Partial flush: ship the accumulated batch early.
+                    yield from self.ship_batch(
+                        app, window_index, buffer, final=False
+                    )
+            coordinator[window_index] = coordinator.get(window_index, 0) + 1
+            if coordinator[window_index] == stream_count:
+                yield from on_window_full(window_index, buffer)
+        self._mcu_next_polls.pop(stream.key, None)
+
+    def ship_batch(
+        self, app: IoTApp, window_index: int, buffer: BatchBuffer, final: bool
+    ):
+        """MCU side of one batch hand-off (interrupt + bulk put).
+
+        The buffer is drained synchronously here so concurrently polling
+        streams start filling a fresh batch; its RAM is released once the
+        payload is on the bus.
+        """
+        nbytes = max(1, buffer.buffered_bytes)
+        samples = buffer.flush()
+        count = len(samples)
+        yield from raise_interrupt(
+            self.hub, "batch", (app, window_index, count, nbytes, final)
+        )
+        yield from mcu_transfer_busy(self.hub, max(1, count), bulk=True)
+
+    def batch_handoff(self, app: IoTApp):
+        """Make the batching hand-off generator for one app."""
+
+        def handoff(window_index: int, buffer: BatchBuffer):
+            yield from self.ship_batch(app, window_index, buffer, final=True)
+
+        return handoff
+
+    def com_handoff(self, app: IoTApp):
+        """Make the COM hand-off: compute on MCU, ship only the result."""
+
+        def handoff(window_index: int, buffer):
+            state = self.window_state(app, window_index)
+            result = yield from run_offloaded_compute(
+                self.hub, app, state.window
+            )
+            yield from raise_interrupt(
+                self.hub, "result", (app, window_index, result)
+            )
+            yield from mcu_transfer_busy(self.hub, 1, bulk=False)
+
+        return handoff
+
+    def poll_stream_cpu(self, stream: Stream):
+        """§II-A main-board polling: the CPU blocks on each read."""
+        device = self.devices[stream.sensor_id]
+        for window_index in range(self.scenario.windows):
+            window_start = window_index * stream.window_s
+            for k in range(stream.samples_per_window):
+                target = window_start + k / stream.rate_hz
+                now = self.hub.sim.now
+                if target > now:
+                    yield Delay(target - now)
+                sample = yield from cpu_blocking_read(self.hub, device)
+                for app in stream.subscribers:
+                    state = self.window_state(app, window_index)
+                    if state.register(sample):
+                        state.deliver()
+
+    # ------------------------------------------------------------------
+    # CPU-side processes
+    # ------------------------------------------------------------------
+    def dispatcher(self):
+        """The CPU's interrupt service loop (one process for the hub).
+
+        Runs until the simulation drains: blocking on the interrupt signal
+        schedules no events, so the kernel terminates naturally once all
+        device activity is over.
+        """
+        while True:
+            request = yield from self.hub.irq.wait()
+            yield from service_interrupt(self.hub)
+            if request.vector == "sample":
+                stream, window_index, k, sample = request.payload
+                yield from cpu_transfer(
+                    self.hub, stream.sample_bytes, 1, bulk=False
+                )
+                for app in stream.subscribers:
+                    if k % stream.stride(app) != 0:
+                        continue  # decimated subscriber skips this sample
+                    state = self.window_state(app, window_index)
+                    if state.register(sample):
+                        state.deliver()
+            elif request.vector == "batch":
+                app, window_index, count, nbytes, final = request.payload
+                yield from cpu_transfer(
+                    self.hub, nbytes, max(1, count), bulk=True
+                )
+                if final:
+                    state = self.window_state(app, window_index)
+                    if not state.complete:
+                        raise WorkloadError(
+                            f"{app.name} batch window {window_index} incomplete"
+                        )
+                    state.deliver()
+            elif request.vector == "result":
+                app, window_index, result = request.payload
+                yield from cpu_transfer(
+                    self.hub, app.profile.output_bytes, 1, bulk=False
+                )
+                self.record_result(app, result)
+                yield from self.hub.nic.send(
+                    app.profile.output_bytes, Routine.APP_COMPUTE
+                )
+            else:  # pragma: no cover - defensive
+                raise WorkloadError(f"unknown vector {request.vector!r}")
+            if self.hub.irq.pending_count == 0:
+                self.rest()
+
+    def cpu_compute_process(self, app: IoTApp):
+        """Window computation on the CPU (baseline/batching/beam)."""
+        for window_index in range(self.scenario.windows):
+            state = self.window_state(app, window_index)
+            if not state.delivered:
+                yield Wait(state.signal)
+            if self.hub.cpu.asleep:
+                yield from self.hub.cpu.wake(Routine.APP_COMPUTE)
+            yield from self.hub.cpu.core.acquire()
+            result = app.compute(state.window)
+            yield from self.hub.cpu.execute(
+                app.profile.cpu_compute_time_s(self.cal),
+                Routine.APP_COMPUTE,
+                instructions=app.profile.instructions,
+            )
+            self.hub.cpu.core.release()
+            self.record_result(app, result)
+            yield from self.hub.nic.send(
+                app.profile.output_bytes, Routine.APP_COMPUTE
+            )
+            self.rest()
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def collect(self, end_time: float) -> RunResult:
+        from ...energy.meter import PowerMonitor
+
+        monitor = PowerMonitor(self.hub.recorder, self.cal.idle_hub_power_w)
+        energy = monitor.measure(end_time)
+        missing = [
+            app.name
+            for app in self.scenario.apps
+            if len(self._app_results[app.name]) != self.scenario.windows
+        ]
+        if missing:
+            raise WorkloadError(
+                f"scenario {self.scenario.name}: apps without complete "
+                f"results: {missing}"
+            )
+        return RunResult(
+            scenario_name=self.scenario.name,
+            scheme=self.scenario.scheme,
+            app_ids=[app.table2_id for app in self.scenario.apps],
+            windows=self.scenario.windows,
+            duration_s=end_time,
+            energy=energy,
+            busy_times=routine_busy_times(self.hub, end_time),
+            app_results=dict(self._app_results),
+            result_times=dict(self._result_times),
+            qos_violations=list(self.qos_violations),
+            interrupt_count=self.hub.irq.raised_count,
+            cpu_wake_count=self.hub.cpu.wake_count,
+            bus_bytes=self.hub.bus.bytes_transferred,
+            offload_reports=dict(self.offload_reports),
+            hub=self.hub,
+        )
+
+
+class SchemeExecutor:
+    """Base class for scheme plugins.
+
+    Subclass, decorate with ``@register_scheme("<name>")``, implement
+    ``build`` and set the two class knobs; the registry makes the scheme
+    addressable by name everywhere a scheme string is accepted.
+    """
+
+    #: Registry name; filled in by :func:`register_scheme`.
+    name: ClassVar[str] = ""
+    #: Whether the CPU starts awake (governor-less schemes) or deep-asleep.
+    cpu_starts_awake: ClassVar[bool] = False
+    #: Whether the MCU board owns the sensing (False = main-board polling,
+    #: where the MCU never leaves sleep).
+    mcu_owns_sensing: ClassVar[bool] = True
+
+    def build(self, ctx: SchemeContext) -> None:
+        """Spawn the scheme's processes and set the governor knobs."""
+        raise NotImplementedError
+
+
+def execute_scenario(scenario) -> RunResult:
+    """Run one scenario under its registered scheme; returns the result."""
+    executor = get_scheme(scenario.scheme)()
+    ctx = SchemeContext(scenario, cpu_starts_awake=executor.cpu_starts_awake)
+    executor.build(ctx)
+    if executor.mcu_owns_sensing:
+        # The MCU board is awake whenever it owns the sensing; under
+        # main-board polling it never leaves sleep.
+        ctx.hub.mcu.set_idle(Routine.DATA_COLLECTION)
+    ctx.rest()
+    ctx.hub.run()
+    end_time = max(ctx.hub.sim.now, scenario.horizon_s)
+    return ctx.collect(end_time)

@@ -1,0 +1,48 @@
+"""BCOM (§III-C): COM for the apps that fit the MCU, Batching for the rest."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...apps.base import IoTApp
+from ...firmware.capability import OffloadReport, check_offloadable
+from .base import SchemeContext, SchemeExecutor
+from .batching import spawn_buffered
+from .registry import register_scheme
+
+
+@register_scheme("bcom")
+class BcomScheme(SchemeExecutor):
+    """Offload what fits the MCU under COM; batch the heavy remainder."""
+
+    def build(self, ctx: SchemeContext) -> None:
+        com_apps: List[IoTApp] = []
+        batch_apps: List[IoTApp] = []
+        candidates: List[IoTApp] = []
+        for app in ctx.scenario.apps:
+            report = check_offloadable(app, ctx.cal)
+            ctx.offload_reports[app.name] = report
+            (candidates if report else batch_apps).append(app)
+        # Greedy pack: smallest footprints first maximizes the number of
+        # apps that escape the CPU; the rest fall back to Batching.
+        budget = ctx.hub.mcu.ram.free_bytes
+        for app in sorted(
+            candidates, key=lambda a: a.profile.mcu_footprint_bytes
+        ):
+            footprint = app.profile.mcu_footprint_bytes
+            if footprint <= budget:
+                budget -= footprint
+                com_apps.append(app)
+            else:
+                batch_apps.append(app)
+                ctx.offload_reports[app.name] = OffloadReport(
+                    app_name=app.name,
+                    offloadable=False,
+                    reasons=[
+                        "MCU RAM contention: other offloaded apps already "
+                        "occupy the remaining capacity"
+                    ],
+                    mcu_compute_time_s=app.profile.mcu_compute_time_s(ctx.cal),
+                    required_ram_bytes=footprint,
+                )
+        spawn_buffered(ctx, com_apps=com_apps, batch_apps=batch_apps)

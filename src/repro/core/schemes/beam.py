@@ -1,0 +1,17 @@
+"""BEAM (Shen et al., ATC'16): apps sharing a sensor share one stream."""
+
+from __future__ import annotations
+
+from .base import SchemeContext, SchemeExecutor
+from .baseline import spawn_interrupting
+from .registry import register_scheme
+
+
+@register_scheme("beam")
+class BeamScheme(SchemeExecutor):
+    """Baseline with shared per-sensor streams: one transfer per raw sample."""
+
+    cpu_starts_awake = True
+
+    def build(self, ctx: SchemeContext) -> None:
+        spawn_interrupting(ctx, shared=True)

@@ -1,0 +1,25 @@
+"""COM (§III-B): compute on the MCU; only results cross to the CPU."""
+
+from __future__ import annotations
+
+from ...errors import OffloadError
+from ...firmware.capability import check_offloadable
+from .base import SchemeContext, SchemeExecutor
+from .batching import spawn_buffered
+from .registry import register_scheme
+
+
+@register_scheme("com")
+class ComScheme(SchemeExecutor):
+    """Run every app's computation on the MCU; ship only the result."""
+
+    def build(self, ctx: SchemeContext) -> None:
+        for app in ctx.scenario.apps:
+            report = check_offloadable(app, ctx.cal)
+            ctx.offload_reports[app.name] = report
+            if not report:
+                raise OffloadError(
+                    f"{app.name} cannot be offloaded: "
+                    f"{'; '.join(report.reasons)}"
+                )
+        spawn_buffered(ctx, com_apps=list(ctx.scenario.apps), batch_apps=[])

@@ -1,0 +1,32 @@
+"""Main-board polling (§II-A): the pre-baseline the MCU board replaces."""
+
+from __future__ import annotations
+
+from ...hubos.governor import CpuRestPolicy
+from .base import SchemeContext, SchemeExecutor
+from .registry import register_scheme
+
+
+@register_scheme("polling")
+class PollingScheme(SchemeExecutor):
+    """Sensors on the main board: the CPU blocks on every read; MCU asleep."""
+
+    cpu_starts_awake = True
+    mcu_owns_sensing = False
+
+    def build(self, ctx: SchemeContext) -> None:
+        apps = ctx.scenario.apps
+        streams = ctx.streams_for(apps, shared=False)
+        ctx.policy = CpuRestPolicy(
+            ctx.sample_times(streams) + ctx.window_boundaries(apps)
+        )
+        ctx.allow_deep = False
+        ctx.use_governor = False
+        for stream in streams:
+            ctx.hub.sim.spawn(
+                ctx.poll_stream_cpu(stream), name=f"cpupoll:{stream.key}"
+            )
+        for app in apps:
+            ctx.hub.sim.spawn(
+                ctx.cpu_compute_process(app), name=f"compute:{app.name}"
+            )

@@ -1,17 +1,20 @@
 """Parameter-sweep utilities for what-if studies.
 
 The ablation benchmarks and the examples share this small API: build a
-grid of scenario variants, run them, and collect flat result records
+grid of scenario variants, run them through the
+:class:`~repro.core.engine.ScenarioEngine` (optionally cached on disk
+and fanned out over worker processes), and collect flat result records
 (plain dicts, friendly to CSV/pandas without depending on either).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ReproError
-from .executor import run_scenario
+from .engine import ScenarioEngine
 from .results import RunResult
 from .scenario import Scenario
 
@@ -77,25 +80,45 @@ def run_sweep(
     grid: Iterable[Dict[str, Any]],
     scenario_factory: Callable[..., Scenario],
     keep_errors: bool = True,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    engine: Optional[ScenarioEngine] = None,
 ) -> Sweep:
     """Run ``scenario_factory(**params)`` for every grid point.
 
     Library errors (offload rejections, workload misconfigurations) are
     captured per point when ``keep_errors`` is set; programming errors
-    always propagate.
+    always propagate — a :class:`TypeError` in a factory or a bug inside
+    the simulator aborts the sweep instead of hiding in point errors.
+
+    ``workers`` fans independent points out over a process pool (those
+    results come back without their live hub); ``cache_dir`` memoizes
+    results on disk by scenario fingerprint.  Pass a pre-built
+    ``engine`` to share one cache/pool configuration across sweeps.
     """
-    sweep = Sweep()
+    engine = engine or ScenarioEngine(workers=workers, cache_dir=cache_dir)
+    points: List[SweepPoint] = []
+    pending: List[Tuple[int, Scenario]] = []
     for params in grid:
+        params = dict(params)
         try:
-            result = run_scenario(scenario_factory(**params))
-            sweep.points.append(SweepPoint(params=dict(params), result=result))
+            scenario = scenario_factory(**params)
         except ReproError as exc:
             if not keep_errors:
                 raise
-            sweep.points.append(
-                SweepPoint(params=dict(params), result=None, error=str(exc))
-            )
-    return sweep
+            points.append(SweepPoint(params=params, result=None, error=str(exc)))
+            continue
+        points.append(SweepPoint(params=params, result=None))
+        pending.append((len(points) - 1, scenario))
+    outcomes = engine.run_batch([scenario for _, scenario in pending])
+    for (slot, _), outcome in zip(pending, outcomes):
+        if isinstance(outcome, ReproError):
+            if not keep_errors:
+                raise outcome
+            points[slot].error = str(outcome)
+        else:
+            points[slot].result = outcome
+    return Sweep(points=points)
 
 
 def grid_of(**axes: Iterable[Any]) -> List[Dict[str, Any]]:

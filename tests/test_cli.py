@@ -41,6 +41,33 @@ def test_apps_command(capsys):
     assert "heavy-weight" in out  # A11's rejection reason
 
 
+def test_schemes_command_lists_registry(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    for name in ("polling", "baseline", "batching", "com", "beam", "bcom"):
+        assert name in out
+    assert "MCU" in out  # docstring summaries are printed
+
+
+def test_compare_with_workers_and_cache(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = ["compare", "A2", "--schemes", "baseline", "com",
+            "--workers", "2", "--cache-dir", cache]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0  # second run served from the cache
+    second = capsys.readouterr().out
+    assert first == second
+    assert list((tmp_path / "cache").glob("*.pkl"))
+
+
+def test_run_with_cache_dir(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["run", "A2", "--scheme", "com", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=com" in out
+
+
 def test_parser_rejects_unknown_scheme():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "A2", "--scheme", "warp"])

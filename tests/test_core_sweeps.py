@@ -58,6 +58,36 @@ def test_sweep_raises_when_errors_not_kept():
         run_sweep(grid_of(app_id=["A11"]), factory, keep_errors=False)
 
 
+def test_sweep_propagates_programming_errors_in_factory():
+    """Non-library exceptions must never hide in SweepPoint.error."""
+
+    def factory(batch_size):
+        raise TypeError("bug in the factory, not a library error")
+
+    with pytest.raises(TypeError):
+        run_sweep(grid_of(batch_size=[100]), factory)
+
+
+def test_sweep_propagates_programming_errors_in_run(monkeypatch):
+    """A bug inside the simulator aborts the sweep instead of hiding."""
+    import repro.core.engine as engine_module
+
+    def exploding(scenario):
+        raise RuntimeError("simulated bug")
+
+    monkeypatch.setattr(engine_module, "execute_scenario", exploding)
+
+    def factory(batch_size):
+        return Scenario(
+            apps=[create_app("A2")],
+            scheme=Scheme.BATCHING,
+            batch_size=batch_size,
+        )
+
+    with pytest.raises(RuntimeError):
+        run_sweep(grid_of(batch_size=[100]), factory)
+
+
 def test_sweep_records_merge_params_and_metrics():
     def factory(scheme):
         return Scenario(apps=[create_app("A2")], scheme=scheme)

@@ -1,0 +1,69 @@
+"""Golden energy-parity tests across the scheme-plugin refactor.
+
+The fixtures below were recorded from the pre-refactor monolithic
+executor (the seed commit) as exact ``float.hex()`` values.  The
+simulator is fully deterministic, so any refactor of the execution
+layer must reproduce these totals *bit for bit* — a mismatch means the
+event ordering or the energy accounting changed, not just noise.
+"""
+
+import pytest
+
+from repro.core import ScenarioEngine, Scenario, run_apps
+
+#: (scenario label, scheme) -> (total_j.hex(), duration_s.hex()),
+#: recorded from the seed executor before the schemes/ refactor.
+GOLDEN = {
+    ("A2", "polling"): ("0x1.5ae49392e9d5fp+2", "0x1.00726d04e618dp+0"),
+    ("A2", "baseline"): ("0x1.5c26818829ef8p+2", "0x1.00887d5938c81p+0"),
+    ("A2", "batching"): ("0x1.658e3432b922cp+1", "0x1.1aecec6e9a593p+0"),
+    ("A2", "com"): ("0x1.1a5da260b0ba6p+0", "0x1.0816f1e3c5ae2p+0"),
+    ("A2", "beam"): ("0x1.5c26818829ef8p+2", "0x1.00887d5938c81p+0"),
+    ("A2", "bcom"): ("0x1.1a5da260b0ba6p+0", "0x1.0816f1e3c5ae2p+0"),
+    ("A2+A7", "baseline"): ("0x1.9d38173211726p+2", "0x1.0e44a867a0282p+0"),
+    ("A2+A7", "beam"): ("0x1.6de006c88d495p+2", "0x1.0e30e3472871cp+0"),
+    ("A2+A7", "bcom"): ("0x1.e9d4f1476e2f1p+0", "0x1.59f5bd142af3ap+0"),
+    ("A11+A6", "baseline"): ("0x1.3e712e468246dp+4", "0x1.d18e395397c94p+1"),
+    ("A11+A6", "batching"): ("0x1.1b14e97b21345p+4", "0x1.f0b9ce2cd841ep+1"),
+    ("A11+A6", "bcom"): ("0x1.127538f835707p+4", "0x1.f398e15ce660dp+1"),
+}
+
+APPS = {"A2": ["A2"], "A2+A7": ["A2", "A7"], "A11+A6": ["A11", "A6"]}
+
+
+@pytest.mark.parametrize(
+    "label,scheme", sorted(GOLDEN), ids=[f"{l}-{s}" for l, s in sorted(GOLDEN)]
+)
+def test_total_energy_bit_identical_to_seed(label, scheme):
+    expected_j, expected_s = GOLDEN[(label, scheme)]
+    result = run_apps(APPS[label], scheme)
+    assert result.energy.total_j == float.fromhex(expected_j)
+    assert result.duration_s == float.fromhex(expected_s)
+
+
+def test_all_six_schemes_covered():
+    """The A2 golden block exercises every registered built-in scheme."""
+    from repro.core import Scheme
+
+    covered = {scheme for label, scheme in GOLDEN if label == "A2"}
+    assert covered == set(Scheme.ALL)
+
+
+def test_cached_engine_hit_matches_cold_run(tmp_path):
+    """A cache hit is indistinguishable from a cold run (minus the hub)."""
+    engine = ScenarioEngine(cache_dir=tmp_path)
+    cold = engine.run(Scenario.of(["A2"], scheme="batching"))
+    hit = engine.run(Scenario.of(["A2"], scheme="batching"))
+    assert engine.cache_misses == 1
+    assert engine.cache_hits == 1
+    assert hit.energy.total_j == cold.energy.total_j
+    assert hit.duration_s == cold.duration_s
+    assert hit.interrupt_count == cold.interrupt_count
+    assert hit.busy_times == cold.busy_times
+    assert (
+        hit.result_payloads("stepcounter")
+        == cold.result_payloads("stepcounter")
+    )
+    # The cold in-process run keeps its hub; cached copies never carry one.
+    assert cold.hub is not None
+    assert hit.hub is None

@@ -1,0 +1,160 @@
+"""Tests for the scenario engine: fingerprints, disk cache, fan-out."""
+
+import pickle
+
+import pytest
+
+from repro.calibration import default_calibration
+from repro.core import (
+    Scenario,
+    ScenarioEngine,
+    Scheme,
+    grid_of,
+    run_sweep,
+    scenario_fingerprint,
+)
+from repro.errors import OffloadError
+from repro.sensors.synthetic import ConstantWaveform
+
+
+# ----------------------------------------------------------------------
+# fingerprinting
+# ----------------------------------------------------------------------
+def test_fingerprint_deterministic_across_instances():
+    a = Scenario.of(["A2", "A4"], scheme=Scheme.BATCHING, windows=2)
+    b = Scenario.of(["A2", "A4"], scheme=Scheme.BATCHING, windows=2)
+    assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        lambda: Scenario.of(["A2"], scheme=Scheme.COM),
+        lambda: Scenario.of(["A2"], scheme=Scheme.BATCHING, windows=2),
+        lambda: Scenario.of(["A2"], scheme=Scheme.BATCHING, batch_size=100),
+        lambda: Scenario.of(["A2", "A4"], scheme=Scheme.BATCHING),
+        lambda: Scenario.of(
+            ["A2"],
+            scheme=Scheme.BATCHING,
+            calibration=default_calibration().with_cpu(active_power_w=4.0),
+        ),
+        lambda: Scenario.of(
+            ["A2"],
+            scheme=Scheme.BATCHING,
+            waveforms={"S4": ConstantWaveform(0.5)},
+        ),
+        lambda: Scenario.of(
+            ["A2"], scheme=Scheme.BATCHING, sensor_failure_rates={"S4": 0.1}
+        ),
+    ],
+    ids=[
+        "scheme",
+        "windows",
+        "batch_size",
+        "apps",
+        "calibration",
+        "waveform",
+        "failure_rate",
+    ],
+)
+def test_fingerprint_sensitive_to_every_simulation_input(variant):
+    base = scenario_fingerprint(Scenario.of(["A2"], scheme=Scheme.BATCHING))
+    assert scenario_fingerprint(variant()) != base
+
+
+def test_fingerprint_equal_waveform_params_collide():
+    a = Scenario.of(
+        ["A2"], scheme=Scheme.BATCHING, waveforms={"S4": ConstantWaveform(0.5)}
+    )
+    b = Scenario.of(
+        ["A2"], scheme=Scheme.BATCHING, waveforms={"S4": ConstantWaveform(0.5)}
+    )
+    assert scenario_fingerprint(a) == scenario_fingerprint(b)
+
+
+# ----------------------------------------------------------------------
+# disk cache
+# ----------------------------------------------------------------------
+def test_cache_survives_engine_instances(tmp_path):
+    first = ScenarioEngine(cache_dir=tmp_path)
+    cold = first.run(Scenario.of(["A2"], scheme=Scheme.COM))
+    second = ScenarioEngine(cache_dir=tmp_path)
+    hit = second.run(Scenario.of(["A2"], scheme=Scheme.COM))
+    assert second.cache_hits == 1
+    assert hit.energy.total_j == cold.energy.total_j
+
+
+def test_corrupt_cache_entry_is_a_miss_not_an_error(tmp_path):
+    engine = ScenarioEngine(cache_dir=tmp_path)
+    scenario = Scenario.of(["A2"], scheme=Scheme.BATCHING)
+    engine.run(scenario)
+    (entry,) = tmp_path.glob("*.pkl")
+    entry.write_bytes(b"not a pickle")
+    rerun = engine.run(Scenario.of(["A2"], scheme=Scheme.BATCHING))
+    assert rerun.results_ok
+    assert engine.cache_misses == 2  # corrupt entry re-simulated and replaced
+    with open(entry, "rb") as handle:
+        assert pickle.load(handle).results_ok
+
+
+def test_engine_without_cache_never_touches_disk(tmp_path):
+    engine = ScenarioEngine()
+    engine.run(Scenario.of(["A2"], scheme=Scheme.BATCHING))
+    assert engine.cache_hits == engine.cache_misses == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_engine_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ScenarioEngine(workers=0)
+
+
+# ----------------------------------------------------------------------
+# batch execution and fan-out
+# ----------------------------------------------------------------------
+def test_run_many_raises_library_errors():
+    engine = ScenarioEngine()
+    with pytest.raises(OffloadError):
+        engine.run_many([Scenario.of(["A11"], scheme=Scheme.COM)])
+
+
+def test_parallel_sweep_identical_to_serial(tmp_path):
+    def factory(batch_size):
+        return Scenario.of(
+            ["A2"], scheme=Scheme.BATCHING, batch_size=batch_size
+        )
+
+    grid = grid_of(batch_size=[100, 1000])
+    serial = run_sweep(grid, factory, workers=1)
+    parallel = run_sweep(grid, factory, workers=2)
+    assert len(serial) == len(parallel) == 2
+    for one, two in zip(serial, parallel):
+        assert one.params == two.params
+        assert one.result.energy.total_j == two.result.energy.total_j
+        assert one.result.duration_s == two.result.duration_s
+        assert one.result.interrupt_count == two.result.interrupt_count
+        assert one.result.busy_times == two.result.busy_times
+
+
+def test_parallel_sweep_captures_library_errors():
+    def factory(app_id):
+        return Scenario.of([app_id], scheme=Scheme.COM)
+
+    sweep = run_sweep(grid_of(app_id=["A11", "A2"]), factory, workers=2)
+    assert len(sweep.failed) == 1
+    assert "offloaded" in sweep.failed[0].error
+    assert len(sweep.succeeded) == 1
+
+
+def test_sweep_fills_from_cache(tmp_path):
+    def factory(scheme):
+        return Scenario.of(["A2"], scheme=scheme)
+
+    grid = grid_of(scheme=[Scheme.BASELINE, Scheme.BATCHING])
+    engine = ScenarioEngine(cache_dir=tmp_path)
+    first = run_sweep(grid, factory, engine=engine)
+    assert engine.cache_misses == 2
+    second = run_sweep(grid, factory, engine=engine)
+    assert engine.cache_hits == 2
+    for one, two in zip(first, second):
+        assert one.result.energy.total_j == two.result.energy.total_j

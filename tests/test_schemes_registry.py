@@ -1,0 +1,72 @@
+"""Tests for the scheme registry and the plugin protocol."""
+
+import pytest
+
+from repro.core import (
+    Scenario,
+    Scheme,
+    SchemeExecutor,
+    register_scheme,
+    run_apps,
+    run_scenario,
+    scheme_names,
+)
+from repro.core.schemes import get_scheme, iter_schemes, unregister_scheme
+from repro.core.schemes.batching import spawn_buffered
+from repro.errors import WorkloadError
+
+
+def test_builtin_schemes_registered_in_paper_order():
+    assert scheme_names() == Scheme.ALL
+
+
+def test_every_builtin_scheme_has_a_docstring_summary():
+    for name, cls in iter_schemes():
+        assert cls.__doc__, name
+        assert cls.__doc__.strip().splitlines()[0], name
+
+
+def test_get_scheme_unknown_name_lists_known():
+    with pytest.raises(WorkloadError, match="registered"):
+        get_scheme("warp")
+
+
+def test_reregistering_same_name_different_class_rejected():
+    with pytest.raises(WorkloadError, match="already registered"):
+
+        @register_scheme("baseline")
+        class Impostor(SchemeExecutor):
+            pass
+
+
+@pytest.fixture
+def one_file_scheme():
+    """A new scheme in 'one file': batching with an MCU-buffer twist."""
+
+    @register_scheme("batching-test")
+    class BatchingTwin(SchemeExecutor):
+        """Test double: identical wiring to batching under a new name."""
+
+        def build(self, ctx):
+            spawn_buffered(
+                ctx, com_apps=[], batch_apps=list(ctx.scenario.apps)
+            )
+
+    yield "batching-test"
+    unregister_scheme("batching-test")
+
+
+def test_plugin_scheme_runs_through_scenario(one_file_scheme):
+    """A freshly registered scheme is accepted end to end by name."""
+    result = run_scenario(Scenario.of(["A2"], scheme=one_file_scheme))
+    assert result.scheme == one_file_scheme
+    assert result.results_ok
+    # Same wiring as batching -> bit-identical physics.
+    reference = run_apps(["A2"], Scheme.BATCHING)
+    assert result.energy.total_j == reference.energy.total_j
+    assert result.interrupt_count == reference.interrupt_count
+
+
+def test_unknown_scheme_rejected_at_scenario_creation():
+    with pytest.raises(WorkloadError, match="unknown scheme"):
+        Scenario.of(["A2"], scheme="batching-test")  # not registered here
