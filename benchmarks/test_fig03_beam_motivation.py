@@ -39,7 +39,9 @@ def test_fig03_beam_motivation(benchmark, figure_printer):
     beam = results["SC+M2X BEAM"]
     beam_saving = beam.energy.savings_vs(concurrent.energy)
     lines.append(f"\nBEAM saving on SC+M2X: {beam_saving * 100:.1f}%  (paper: 9%)")
-    figure_printer("Figure 3 — Energy breakdown motivating the study", "\n".join(lines))
+    figure_printer(
+        "Figure 3 — Energy breakdown motivating the study", "\n".join(lines)
+    )
 
     sc = results["SC"].energy.marginal_j
     m2x = results["M2X"].energy.marginal_j

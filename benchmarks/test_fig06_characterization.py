@@ -34,7 +34,9 @@ def test_fig06_characterization(benchmark, figure_printer):
         f"\naverage memory {avg_mem:.1f} KB (paper: 26.2), "
         f"average MIPS {avg_mips:.2f} (paper: 47.45)"
     )
-    figure_printer("Figure 6 — Memory usage and instructions executed", "\n".join(lines))
+    figure_printer(
+        "Figure 6 — Memory usage and instructions executed", "\n".join(lines)
+    )
 
     by_id = {row.table2_id: row for row in rows}
     assert abs(avg_mem - 26.2) < 0.5

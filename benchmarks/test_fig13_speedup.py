@@ -29,7 +29,9 @@ def test_fig13_speedup(benchmark, figure_printer):
         lines.append(f"{app_id:<6}{speedup:>8.2f}x{marker}")
     average = sum(speedups.values()) / len(speedups)
     lines.append(f"\naverage {average:.2f}x (paper: 1.88x)")
-    figure_printer("Figure 13 — COM performance speedup vs Baseline", "\n".join(lines))
+    figure_printer(
+        "Figure 13 — COM performance speedup vs Baseline", "\n".join(lines)
+    )
 
     # Shape: A3 and A8 regress (the paper's two slowdowns)...
     assert speedups["A3"] < 1.0

@@ -43,7 +43,13 @@ def main() -> None:
         print(f"  {ROUTINE_LABELS[routine]:<24}{share * 100:>6.1f}%")
 
     print("\nCPU power states over the window (one char ~ 14 ms):")
-    chars = {"busy": "#", "idle": "=", "sleep": ".", "deep_sleep": "_", "transition": "^"}
+    chars = {
+        "busy": "#",
+        "idle": "=",
+        "sleep": ".",
+        "deep_sleep": "_",
+        "transition": "^",
+    }
     for scheme, result in results.items():
         strip = result.hub.recorder.render_ascii(
             "cpu", result.duration_s, width=72, state_chars=chars

@@ -1,0 +1,50 @@
+"""Static analysis for the repro codebase: the ``repro lint`` engine.
+
+The simulator's correctness rests on conventions no runtime check sees:
+SI base units everywhere, a ReproError-only failure surface, a
+deterministic core (the fingerprint cache depends on it) and the
+one-module-one-scheme plugin contract.  This package checks them from
+the AST — see ``docs/static-analysis.md`` for the rule catalogue and
+suppression syntax (``# repro-lint: disable=<rule>``).
+"""
+
+from .findings import Finding, Severity
+from .framework import (
+    FileContext,
+    LintConfigError,
+    Rule,
+    all_rules,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    register_rule,
+    resolve_rules,
+)
+from .reporters import (
+    JSON_SCHEMA_VERSION,
+    exit_code,
+    list_rules,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "FileContext",
+    "LintConfigError",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "resolve_rules",
+    "JSON_SCHEMA_VERSION",
+    "exit_code",
+    "list_rules",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,307 @@
+"""The visitor framework behind ``repro lint``.
+
+One parse, one walk: every file is parsed to an :mod:`ast` tree once and
+each node is dispatched to every active :class:`Rule` that declares a
+``visit_<NodeType>`` handler — rules never re-walk the tree themselves.
+Rules that need module-level context (e.g. "exactly one registered
+scheme per module") implement ``begin_module`` / ``finish_module``.
+
+Inline suppression mirrors the familiar linter convention::
+
+    risky_line()  # repro-lint: disable=det-wallclock
+    other_line()  # repro-lint: disable=units,err-raise-foreign
+    anything()    # repro-lint: disable=all
+
+A token suppresses a finding on that line when it is ``all``, the
+finding's full rule id, or the rule's family (the prefix before the
+first ``-``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from pathlib import PurePath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+from ..errors import ReproError
+from .findings import Finding, Severity
+
+#: Matches one inline suppression comment anywhere in a physical line.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s-]+)")
+
+#: Rule id reserved for files the parser rejects.
+PARSE_ERROR_RULE = "parse-error"
+
+
+class LintConfigError(ReproError):
+    """An unknown rule id was passed to ``--select`` / ``--ignore``."""
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to their suppression tokens."""
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            tokens = {
+                token.strip()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            if tokens:
+                suppressions[lineno] = tokens
+    return suppressions
+
+
+class FileContext:
+    """Everything one lint pass over one file shares with its rules."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.suppressions = parse_suppressions(source)
+        self.findings: List[Finding] = []
+        self._parts = PurePath(path).parts
+
+    # -- path scoping --------------------------------------------------
+    @property
+    def filename(self) -> str:
+        return self._parts[-1] if self._parts else self.path
+
+    def in_dirs(self, names: Iterable[str]) -> bool:
+        """True when any of ``names`` is a directory component of the path."""
+        directories = self._parts[:-1]
+        return any(name in directories for name in names)
+
+    # -- emission ------------------------------------------------------
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        tokens = self.suppressions.get(line)
+        if not tokens:
+            return False
+        family = rule_id.split("-", 1)[0]
+        return bool({"all", rule_id, family} & tokens)
+
+    def emit(self, finding: Finding) -> None:
+        if not self.suppressed(finding.rule_id, finding.line):
+            self.findings.append(finding)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclass, set the class attributes, implement ``visit_<NodeType>``
+    handlers (and/or the module hooks) and decorate with
+    :func:`register_rule`.  Handlers receive ``(ctx, node)`` and report
+    through :meth:`emit`.
+    """
+
+    #: Unique id, ``<family>-<slug>`` (e.g. ``units-magic-literal``).
+    rule_id: str = ""
+    #: One-line description for ``repro lint --list-rules`` and the docs.
+    description: str = ""
+    #: Findings at ERROR fail the run; WARNING findings only report.
+    severity: Severity = Severity.ERROR
+
+    @property
+    def family(self) -> str:
+        return self.rule_id.split("-", 1)[0]
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path scoping)."""
+        return True
+
+    def begin_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Hook before the walk: reset per-file state here."""
+
+    def finish_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Hook after the walk: emit module-level findings here."""
+
+    def emit(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        **data: object,
+    ) -> None:
+        ctx.emit(
+            Finding(
+                path=ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=self.rule_id,
+                severity=self.severity,
+                message=message,
+                data=dict(data),
+            )
+        )
+
+
+#: Registration-ordered rule classes (order defines report grouping).
+_RULES: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id must be unique)."""
+    if not cls.rule_id:
+        raise LintConfigError(f"rule {cls.__name__} has no rule_id")
+    existing = _RULES.get(cls.rule_id)
+    if existing is not None and existing is not cls:
+        raise LintConfigError(
+            f"rule id {cls.rule_id!r} already registered by "
+            f"{existing.__name__}"
+        )
+    _RULES[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """Registered rules by id, in registration order."""
+    _load_builtin_rules()
+    return dict(_RULES)
+
+
+def _load_builtin_rules() -> None:
+    # Deferred so framework.py can be imported from the rule modules.
+    from . import rules as _rules  # noqa: F401
+
+
+def _match_tokens(tokens: Sequence[str]) -> Set[str]:
+    """Expand select/ignore tokens (ids or family prefixes) to rule ids."""
+    known = all_rules()
+    families = {cls().family for cls in known.values()}
+    matched: Set[str] = set()
+    for token in tokens:
+        if token in known:
+            matched.add(token)
+        elif token in families:
+            matched.update(
+                rule_id
+                for rule_id, cls in known.items()
+                if cls().family == token
+            )
+        else:
+            choices = ", ".join(sorted(set(known) | families))
+            raise LintConfigError(
+                f"unknown rule or family {token!r} (known: {choices})"
+            )
+    return matched
+
+
+def resolve_rules(
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Rule]:
+    """Instantiate the active rule set for one run."""
+    active = set(all_rules())
+    if select:
+        active = _match_tokens(select)
+    if ignore:
+        active -= _match_tokens(ignore)
+    return [
+        cls() for rule_id, cls in all_rules().items() if rule_id in active
+    ]
+
+
+class _Walker(ast.NodeVisitor):
+    """Dispatches every node to each rule's ``visit_<NodeType>`` handler."""
+
+    def __init__(self, ctx: FileContext, rules: Sequence[Rule]):
+        self.ctx = ctx
+        self._handlers: Dict[str, List] = {}
+        for rule in rules:
+            for name in dir(rule):
+                if name.startswith("visit_"):
+                    self._handlers.setdefault(name, []).append(
+                        getattr(rule, name)
+                    )
+
+    def visit(self, node: ast.AST) -> None:
+        for handler in self._handlers.get(
+            f"visit_{type(node).__name__}", ()
+        ):
+            handler(self.ctx, node)
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one source text; returns findings sorted by location."""
+    ctx = FileContext(path, source)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) or 1,
+                rule_id=PARSE_ERROR_RULE,
+                severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    rules = [
+        rule
+        for rule in resolve_rules(select, ignore)
+        if rule.applies_to(ctx)
+    ]
+    for rule in rules:
+        rule.begin_module(ctx, tree)
+    _Walker(ctx, rules).visit(tree)
+    for rule in rules:
+        rule.finish_module(ctx, tree)
+    return sorted(ctx.findings, key=lambda finding: finding.sort_key)
+
+
+def lint_file(
+    path: str,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint one file on disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return lint_source(source, path=path, select=select, ignore=ignore)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield ``.py`` files under ``paths`` in sorted, deterministic order.
+
+    Directories are walked recursively; hidden directories and
+    ``__pycache__`` are skipped.  Missing paths raise
+    :class:`LintConfigError` rather than silently linting nothing.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    name
+                    for name in dirnames
+                    if name != "__pycache__" and not name.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(root, filename)
+        else:
+            raise LintConfigError(f"no such file or directory: {path!r}")
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by location."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select, ignore=ignore))
+    return sorted(findings, key=lambda finding: finding.sort_key)

@@ -1,0 +1,9 @@
+"""Built-in lint rules; importing this package registers all of them.
+
+One module per rule family — mirror this layout (and see
+``docs/static-analysis.md``) when adding a family.
+"""
+
+from . import determinism, errors, schemes, units  # noqa: F401
+
+__all__ = ["determinism", "errors", "schemes", "units"]

@@ -1,0 +1,123 @@
+"""Error-surface rules.
+
+``repro/errors.py`` promises callers a single catchable surface: every
+*runtime library failure* derives from :class:`~repro.errors.ReproError`.
+Programming-error exceptions (``ValueError``/``TypeError`` for bad
+arguments, ``AssertionError`` for unreachable states,
+``NotImplementedError`` for abstract hooks) are deliberately outside
+that surface so callers can catch library failures "without masking
+programming errors".  These rules enforce both halves: no raising of
+runtime builtins that should be ``ReproError`` subclasses, and no broad
+handler that swallows exceptions it cannot understand.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..framework import FileContext, Rule, register_rule
+
+#: Builtin exceptions that signal *runtime* failures — library code must
+#: wrap these conditions in a ReproError subclass instead.
+FORBIDDEN_RAISES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "RuntimeError",
+        "StopIteration",
+        "KeyError",
+        "IndexError",
+        "LookupError",
+        "OSError",
+        "IOError",
+        "EnvironmentError",
+        "EOFError",
+        "ConnectionError",
+        "TimeoutError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "OverflowError",
+        "FloatingPointError",
+        "MemoryError",
+        "BufferError",
+        "SystemError",
+        "UnicodeError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+    }
+)
+
+#: Exception names that make an ``except`` clause "broad".
+BROAD_EXCEPTS = frozenset({"Exception", "BaseException"})
+
+
+def _exception_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Name of the exception class in a raise/except expression."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register_rule
+class RaiseForeignRule(Rule):
+    """Raising a runtime builtin instead of a ReproError subclass."""
+
+    rule_id = "err-raise-foreign"
+    description = (
+        "library code raising a runtime builtin (KeyError, RuntimeError,"
+        " OSError, ...) — raise a ReproError subclass from errors.py"
+    )
+
+    def visit_Raise(self, ctx: FileContext, node: ast.Raise) -> None:
+        name = _exception_name(node.exc)
+        if name in FORBIDDEN_RAISES:
+            self.emit(
+                ctx,
+                node,
+                f"raises {name}; library failures must derive from"
+                " ReproError (see repro/errors.py)",
+                exception=name,
+            )
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """Bare/broad ``except`` that swallows what it caught."""
+
+    rule_id = "err-swallowed-exception"
+    description = (
+        "bare `except:` or `except Exception:` that does not re-raise —"
+        " catch the specific ReproError subclass instead"
+    )
+
+    def visit_ExceptHandler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> None:
+        if not self._is_broad(node.type):
+            return
+        if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+            # Catch-wrap-reraise and cleanup-reraise are legitimate.
+            return
+        caught = _exception_name(node.type) or "everything"
+        self.emit(
+            ctx,
+            node,
+            f"broad handler catches {caught} and swallows it; catch the"
+            " specific exception or re-raise",
+        )
+
+    @staticmethod
+    def _is_broad(node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return True  # bare except:
+        if isinstance(node, ast.Tuple):
+            return any(
+                _exception_name(element) in BROAD_EXCEPTS
+                for element in node.elts
+            )
+        return _exception_name(node) in BROAD_EXCEPTS

@@ -1,0 +1,175 @@
+"""Units-discipline rules.
+
+The library speaks SI base units everywhere (seconds, joules, watts —
+see ``repro/units.py``); call sites state other magnitudes through the
+``ms()``/``us()``/``to_ms()``/... helpers.  These rules catch the two
+ways that discipline erodes: inline scale arithmetic (``x * 1e-3``
+where ``ms(x)`` exists) and exact float comparison of physical
+quantities.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from ..framework import FileContext, Rule, register_rule
+
+#: Name suffixes that mark a value as a physical time/energy/power
+#: quantity under the library's naming convention.
+UNIT_SUFFIXES = ("_s", "_j", "_w", "_ms", "_us", "_ns", "_mj", "_mw", "_time")
+
+#: Bare names that conventionally hold simulated time in this codebase.
+TIME_NAMES = frozenset({"now", "time", "duration", "deadline", "elapsed"})
+
+#: Scale factor -> helper converting *into* base units.
+_INTO_BASE = {1e-3: "ms()", 1e-6: "us()", 1e-9: "ns()"}
+
+#: Unit suffix character -> helper converting *out of* base units.
+_OUT_OF_BASE = {"s": "to_ms()", "j": "to_mj()", "w": "to_mw()"}
+
+
+def _expr_name(node: ast.AST) -> Optional[str]:
+    """The identifier carrying the unit suffix, if the node has one."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _expr_name(node.func)
+    return None
+
+
+def _is_unit_expr(node: ast.AST) -> bool:
+    name = _expr_name(node)
+    if name is None:
+        return False
+    return name.endswith(UNIT_SUFFIXES) or name in TIME_NAMES
+
+
+def _scale_value(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def _suffix_char(name: str) -> str:
+    """Last letter of the unit suffix (``duration_s`` -> ``s``)."""
+    for suffix in UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return suffix[-1]
+    return "s"  # the bare TIME_NAMES are all seconds
+
+
+@register_rule
+class MagicLiteralRule(Rule):
+    """Inline unit-scale arithmetic instead of the ``units.py`` helpers."""
+
+    rule_id = "units-magic-literal"
+    description = (
+        "time/energy scale arithmetic (e.g. `x * 1e-3`, `duration_s * 1e3`)"
+        " must go through the units.py helpers (ms/us/ns, to_ms/to_mj/...)"
+    )
+
+    def visit_BinOp(self, ctx: FileContext, node: ast.BinOp) -> None:
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            return
+        for operand, other, operand_is_left in (
+            (node.left, node.right, True),
+            (node.right, node.left, False),
+        ):
+            if isinstance(node.op, ast.Div) and not operand_is_left:
+                continue  # `1e-3 / x` is not a unit conversion
+            scale = _scale_value(other)
+            if scale is None or not _is_unit_expr(operand):
+                continue
+            helper = self._helper_for(operand, node.op, scale)
+            if helper is not None:
+                self.emit(
+                    ctx,
+                    node,
+                    f"unit-scale arithmetic on "
+                    f"{_expr_name(operand)!r}; use units.{helper} instead",
+                    scale=scale,
+                )
+            return
+
+    def _helper_for(
+        self, operand: ast.AST, op: ast.operator, scale: float
+    ) -> Optional[str]:
+        name = _expr_name(operand) or ""
+        if isinstance(op, ast.Mult):
+            into_base = _INTO_BASE.get(scale)
+            if into_base is not None:
+                return into_base
+            if scale == 1e3:
+                return _OUT_OF_BASE.get(_suffix_char(name), "to_ms()")
+            return None
+        if scale in _INTO_BASE:  # `x / 1e-3` is to_ms(x), etc.
+            return _OUT_OF_BASE.get(_suffix_char(name), "to_ms()")
+        return None
+
+    def visit_Assign(self, ctx: FileContext, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_binding(ctx, target, node.value)
+
+    def visit_AnnAssign(self, ctx: FileContext, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_binding(ctx, node.target, node.value)
+
+    def visit_keyword(self, ctx: FileContext, node: ast.keyword) -> None:
+        if node.arg and node.arg.endswith("_s"):
+            self._check_seconds_literal(ctx, node.arg, node.value)
+
+    def _check_binding(
+        self, ctx: FileContext, target: ast.AST, value: ast.AST
+    ) -> None:
+        name = _expr_name(target)
+        if name and name.endswith("_s"):
+            self._check_seconds_literal(ctx, name, value)
+
+    def _check_seconds_literal(
+        self, ctx: FileContext, name: str, value: ast.AST
+    ) -> None:
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, float)
+            and 0.0 < abs(value.value) < 0.1
+        ):
+            self.emit(
+                ctx,
+                value,
+                f"magic sub-second literal {value.value!r} bound to "
+                f"{name!r}; state the magnitude with units.ms()/us()/ns()",
+                literal=value.value,
+            )
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    """Exact ``==``/``!=`` on physical quantities (floats)."""
+
+    rule_id = "units-float-eq"
+    description = (
+        "exact == / != comparison of time/energy/power values; use a"
+        " tolerance (math.isclose or an explicit epsilon)"
+    )
+
+    def visit_Compare(self, ctx: FileContext, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if ast.dump(left) == ast.dump(right):
+                continue  # `x != x` is the NaN-guard idiom, not a bug
+            for side in (left, right):
+                if _is_unit_expr(side):
+                    self.emit(
+                        ctx,
+                        node,
+                        f"exact float comparison on {_expr_name(side)!r}; "
+                        "compare with a tolerance",
+                    )
+                    return

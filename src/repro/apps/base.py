@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..calibration import Calibration, default_calibration
-from ..errors import WorkloadError
+from ..errors import SensorError, WorkloadError
 from ..sensors.base import SensorSample
 from ..sensors.specs import SensorSpec, get_spec
 from ..sensors.synthetic import Waveform
@@ -74,7 +74,7 @@ class AppProfile:
         for sensor_id in self.sensor_ids:
             try:
                 get_spec(sensor_id)
-            except Exception as exc:
+            except SensorError as exc:
                 raise WorkloadError(
                     f"{self.table2_id}: {exc}"
                 ) from exc

@@ -10,6 +10,9 @@ Subcommands:
 * ``schemes`` — list the registered execution schemes.
 * ``tables`` — print Table I and Table II.
 * ``apps`` — list the workloads with their offload verdicts.
+* ``lint src/`` — run the repo's own static analysis (units discipline,
+  determinism, error surface, scheme contracts); see
+  ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from .core import Scheme, compare_schemes, run_apps, scheme_names
 from .energy.report import ROUTINE_LABELS, format_breakdown_table
 from .firmware.capability import check_offloadable
 from .hw.power import Routine
-from .units import to_mj
+from .units import to_mj, to_ms, us
 from .workloads import table1_rows, table2_rows
 
 
@@ -69,6 +72,46 @@ def _add_compare_parser(subparsers) -> None:
     )
 
 
+def _add_lint_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "lint",
+        help="statically check invariants (units, determinism, errors, "
+        "scheme contracts)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        default="text",
+        choices=["text", "json"],
+        help="report format",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids or families",
+    )
+    parser.add_argument(
+        "--ignore",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="skip these rule ids or families",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -103,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000.0,
         help="sampling interval in microseconds (default 1000)",
     )
+    _add_lint_parser(subparsers)
     return parser
 
 
@@ -191,16 +235,43 @@ def _cmd_trace(args) -> int:
         result.hub.recorder, result.energy.idle_floor_power_w
     )
     strip, low, high = power_sparkline(monitor, result.duration_s)
-    print(f"hub power over {result.duration_s * 1e3:.0f} ms "
+    print(f"hub power over {to_ms(result.duration_s):.0f} ms "
           f"({low:.2f}..{high:.2f} W):")
     print(strip)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             rows = write_power_csv(
-                monitor, result.duration_s, args.interval_us * 1e-6, handle
+                monitor, result.duration_s, us(args.interval_us), handle
             )
         print(f"wrote {rows} samples to {args.out}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .analysis import (
+        LintConfigError,
+        exit_code,
+        iter_python_files,
+        lint_paths,
+        list_rules,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        print("\n".join(list_rules()))
+        return 0
+    try:
+        files_checked = sum(1 for _ in iter_python_files(args.paths))
+        findings = lint_paths(
+            args.paths, select=args.select, ignore=args.ignore
+        )
+    except LintConfigError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings, files_checked))
+    return exit_code(findings)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -218,6 +289,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_schemes()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

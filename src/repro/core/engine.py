@@ -40,7 +40,7 @@ from .schemes.base import execute_scenario
 FINGERPRINT_VERSION = 1
 
 
-def _waveform_payload(waveform) -> Any:
+def _waveform_payload(waveform: Any) -> Any:
     """Stable description of a waveform for fingerprinting.
 
     Waveforms are pure functions of time plus their constructor
@@ -122,8 +122,8 @@ class ScenarioEngine:
     def __init__(
         self,
         workers: int = 1,
-        cache_dir: Optional[Union[str, os.PathLike]] = None,
-    ):
+        cache_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.workers = int(workers)

@@ -10,6 +10,7 @@ from ..energy.meter import EnergyReport
 from ..firmware.capability import OffloadReport
 from ..hw.board import IoTHub
 from ..hw.power import Routine
+from ..units import to_mj, to_ms
 
 #: Component states that count as "busy" for the timing breakdown
 #: (Figures 8 and 13): actual work on a core, a sensor rail, the bus or
@@ -97,11 +98,11 @@ class RunResult:
         lines = [
             f"{self.scenario_name}: scheme={self.scheme} "
             f"apps={','.join(self.app_ids)} windows={self.windows}",
-            f"  duration={self.duration_s * 1e3:.1f} ms  "
-            f"energy={self.energy.total_j * 1e3:.1f} mJ "
-            f"(marginal {self.energy.marginal_j * 1e3:.1f} mJ)",
+            f"  duration={to_ms(self.duration_s):.1f} ms  "
+            f"energy={to_mj(self.energy.total_j):.1f} mJ "
+            f"(marginal {to_mj(self.energy.marginal_j):.1f} mJ)",
             f"  interrupts={self.interrupt_count} wakes={self.cpu_wake_count} "
-            f"bus={self.bus_bytes} B busy={self.total_busy_s * 1e3:.1f} ms",
+            f"bus={self.bus_bytes} B busy={to_ms(self.total_busy_s):.1f} ms",
         ]
         if self.qos_violations:
             lines.append(f"  QoS violations: {self.qos_violations}")

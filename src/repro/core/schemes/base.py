@@ -37,6 +37,7 @@ from ...hw.mcu import McuState
 from ...hw.power import Routine
 from ...sensors.base import SensorDevice
 from ...sim.process import Delay, Signal, Wait
+from ...units import to_ms
 from ..results import RunResult, routine_busy_times
 from .registry import get_scheme
 
@@ -217,7 +218,8 @@ class SchemeContext:
         if now > state.deadline_s + 1e-9:
             self.qos_violations.append(
                 f"{app.name} window {result.window_index}: result at "
-                f"{now * 1e3:.1f} ms, deadline {state.deadline_s * 1e3:.1f} ms"
+                f"{to_ms(now):.1f} ms, deadline "
+                f"{to_ms(state.deadline_s):.1f} ms"
             )
 
     # ------------------------------------------------------------------

@@ -64,11 +64,11 @@ def sparkline(values: Sequence[float], width: int = 64) -> str:
     # Downsample by bucket means to the requested width.
     if len(data) > width:
         bucket = len(data) / width
-        data = [
-            sum(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
-            / max(1, len(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+        buckets = [
+            data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))]
             for i in range(width)
         ]
+        data = [sum(chunk) / max(1, len(chunk)) for chunk in buckets]
     low, high = min(data), max(data)
     span = high - low
     if span <= 0:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
+from ..errors import WorkloadError
 from ..hw.power import Routine
 from ..units import to_mj
 from .meter import EnergyReport
@@ -43,7 +44,7 @@ def format_breakdown_table(
     charts are scaled.
     """
     if baseline_key not in rows:
-        raise KeyError(f"baseline {baseline_key!r} not among rows")
+        raise WorkloadError(f"baseline {baseline_key!r} not among rows")
     baseline = rows[baseline_key]
     routines = [routine for routine in Routine.ORDER if routine != Routine.IDLE]
     header = ["Scheme"] + [ROUTINE_LABELS[routine] for routine in routines]

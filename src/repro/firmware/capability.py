@@ -18,6 +18,7 @@ from typing import List, Optional
 from ..calibration import Calibration, default_calibration
 from ..apps.base import IoTApp
 from ..sensors.specs import get_spec
+from ..units import to_ms
 
 
 @dataclass
@@ -63,8 +64,8 @@ def check_offloadable(
     mcu_time = profile.mcu_compute_time_s(cal)
     if mcu_time > profile.window_s:
         reasons.append(
-            f"MCU compute time {mcu_time * 1e3:.1f} ms exceeds the "
-            f"{profile.window_s * 1e3:.0f} ms window (QoS violation)"
+            f"MCU compute time {to_ms(mcu_time):.1f} ms exceeds the "
+            f"{to_ms(profile.window_s):.0f} ms window (QoS violation)"
         )
 
     return OffloadReport(

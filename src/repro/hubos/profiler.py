@@ -14,7 +14,7 @@ from typing import Iterable, List, Optional
 from ..apps.base import IoTApp
 from ..apps.offline import collect_window
 from ..calibration import Calibration, default_calibration
-from ..units import to_kib
+from ..units import to_kib, to_ms
 
 
 @dataclass(frozen=True)
@@ -54,8 +54,8 @@ def characterize_app(
         heap_kb=to_kib(profile.heap_bytes),
         stack_kb=to_kib(profile.stack_bytes),
         mips=profile.mips,
-        cpu_compute_ms=profile.cpu_compute_time_s(cal) * 1e3,
-        mcu_compute_ms=profile.mcu_compute_time_s(cal) * 1e3,
+        cpu_compute_ms=to_ms(profile.cpu_compute_time_s(cal)),
+        mcu_compute_ms=to_ms(profile.mcu_compute_time_s(cal)),
         window_samples=window.total_count,
         window_bytes=profile.sensor_data_bytes,
         host_compute_s=host_elapsed,

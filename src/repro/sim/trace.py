@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..units import to_ms
+
 
 @dataclass(frozen=True)
 class StateChange:
@@ -23,7 +25,7 @@ class StateChange:
 
     def __str__(self) -> str:
         return (
-            f"t={self.time * 1e3:10.3f}ms {self.component:<10} "
+            f"t={to_ms(self.time):10.3f}ms {self.component:<10} "
             f"{self.state:<12} {self.power_w:6.3f}W [{self.routine}]"
         )
 

@@ -52,7 +52,9 @@ def test_heartbeat_bpm_accuracy(bpm):
     assert not result.payload["irregular"]
 
 
-@pytest.mark.parametrize("irregularity,expected", [(0.0, False), (0.3, True), (0.45, True)])
+@pytest.mark.parametrize(
+    "irregularity,expected", [(0.0, False), (0.3, True), (0.45, True)]
+)
 def test_heartbeat_irregularity_threshold(irregularity, expected):
     app = create_app("A8")
     waveform = EcgWaveform(

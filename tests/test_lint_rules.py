@@ -1,0 +1,302 @@
+"""Per-rule fixtures for ``repro lint``: known-bad code is flagged,
+known-good code is not, and path scoping gates the scoped families."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+
+#: Paths that put fixtures inside / outside the scoped directories.
+SIM_PATH = "src/repro/sim/fixture.py"
+SCHEME_PATH = "src/repro/core/schemes/fixture.py"
+NEUTRAL_PATH = "src/repro/hubos/fixture.py"
+
+
+def rule_ids(source, path=NEUTRAL_PATH, **kwargs):
+    return [
+        finding.rule_id
+        for finding in lint_source(textwrap.dedent(source), path, **kwargs)
+    ]
+
+
+# ----------------------------------------------------------------------
+# units-discipline
+# ----------------------------------------------------------------------
+class TestUnitsMagicLiteral:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "x = duration_s * 1e3",
+            "x = 1e3 * duration_s",
+            "x = interval_us * 1e-6",
+            "x = result.total_j * 1e3",
+            "x = obj.deadline_s * 1000",
+            "x = now / 1e-3",
+            "x = profile.cpu_compute_time_s(cal) * 1e3",
+            "x = mcu_time * 1e3",
+        ],
+    )
+    def test_flags_inline_scale_arithmetic(self, snippet):
+        assert rule_ids(snippet) == ["units-magic-literal"]
+
+    def test_flags_magic_seconds_literal(self):
+        assert rule_ids("timeout_s = 0.0016") == ["units-magic-literal"]
+        assert rule_ids("f(window_s=0.05)") == ["units-magic-literal"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "x = to_ms(duration_s)",
+            "timeout_s = ms(1.6)",
+            "window_s = 1.0",
+            "x = mips * 1e6",  # rate scaling, not a time/energy unit
+            "ok = value > 1e-9",  # tolerance comparison
+            "x = 1e-3 / duration_s",  # not a conversion
+            "eps = 1e-12 * max(1.0, abs(mean))",
+        ],
+    )
+    def test_clean_code_passes(self, snippet):
+        assert rule_ids(snippet) == []
+
+    def test_suggests_the_right_helper(self):
+        findings = lint_source("x = interval_us * 1e-6", NEUTRAL_PATH)
+        assert "units.us()" in findings[0].message
+        findings = lint_source("x = total_j * 1e3", NEUTRAL_PATH)
+        assert "units.to_mj()" in findings[0].message
+
+
+class TestUnitsFloatEq:
+    def test_flags_exact_equality_on_quantities(self):
+        assert rule_ids("ok = start_s == end_s") == ["units-float-eq"]
+        assert rule_ids("ok = a.energy_j != b.energy_j") == [
+            "units-float-eq"
+        ]
+
+    def test_nan_guard_idiom_is_allowed(self):
+        assert rule_ids("bad = time != time") == []
+
+    def test_ordering_comparisons_are_allowed(self):
+        assert rule_ids("ok = start_s <= end_s") == []
+
+
+# ----------------------------------------------------------------------
+# determinism (scoped to sim/, hw/, core/schemes/)
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "snippet,rule",
+        [
+            ("import time\nt = time.time()", "det-wallclock"),
+            ("import time\nt = time.perf_counter()", "det-wallclock"),
+            (
+                "from time import perf_counter\nt = perf_counter()",
+                "det-wallclock",
+            ),
+            (
+                "from datetime import datetime\nt = datetime.now()",
+                "det-wallclock",
+            ),
+            ("import random\nx = random.random()", "det-unseeded-random"),
+            ("import random\nr = random.Random()", "det-unseeded-random"),
+            (
+                "import numpy as np\nrng = np.random.default_rng()",
+                "det-unseeded-random",
+            ),
+            (
+                "import numpy as np\nx = np.random.rand(3)",
+                "det-unseeded-random",
+            ),
+            ("import uuid\nx = uuid.uuid4()", "det-unseeded-random"),
+            ("for x in {1, 2, 3}:\n    pass", "det-set-order"),
+            ("xs = list(set(items))", "det-set-order"),
+            ("xs = [y for y in set(items)]", "det-set-order"),
+            ("s = ', '.join({str(x) for x in items})", "det-set-order"),
+        ],
+    )
+    def test_flags_inside_sim(self, snippet, rule):
+        assert rule in rule_ids(snippet, path=SIM_PATH)
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import random\nr = random.Random(7)",
+            "import numpy as np\nrng = np.random.default_rng(42)",
+            "xs = sorted(set(items))",
+            "ok = 3 in {1, 2, 3}",  # membership, not iteration
+            "n = len(set(items))",
+        ],
+    )
+    def test_clean_inside_sim(self, snippet):
+        assert rule_ids(snippet, path=SIM_PATH) == []
+
+    def test_not_scoped_outside_simulation_dirs(self):
+        snippet = "import time\nt = time.perf_counter()"
+        assert rule_ids(snippet, path=NEUTRAL_PATH) == []
+        assert "det-wallclock" in rule_ids(
+            snippet, path="src/repro/hw/fixture.py"
+        )
+        assert "det-wallclock" in rule_ids(snippet, path=SCHEME_PATH)
+
+
+# ----------------------------------------------------------------------
+# error-surface
+# ----------------------------------------------------------------------
+class TestErrorSurface:
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "raise KeyError('missing')",
+            "raise RuntimeError('boom')",
+            "raise Exception('anything')",
+            "raise OSError(2, 'no such file')",
+        ],
+    )
+    def test_flags_runtime_builtins(self, snippet):
+        assert rule_ids(snippet) == ["err-raise-foreign"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "raise WorkloadError('inconsistent scenario')",
+            "raise ValueError('bad argument')",  # programming error
+            "raise NotImplementedError",
+            "raise AssertionError('unreachable')",
+        ],
+    )
+    def test_repro_and_programming_errors_pass(self, snippet):
+        assert rule_ids(snippet) == []
+
+    def test_flags_swallowing_broad_except(self):
+        bad = """
+        try:
+            risky()
+        except Exception:
+            pass
+        """
+        assert rule_ids(bad) == ["err-swallowed-exception"]
+        bare = """
+        try:
+            risky()
+        except:
+            log()
+        """
+        assert rule_ids(bare) == ["err-swallowed-exception"]
+
+    def test_broad_except_that_reraises_is_allowed(self):
+        wrap = """
+        try:
+            risky()
+        except Exception as exc:
+            raise WorkloadError(str(exc)) from exc
+        """
+        assert rule_ids(wrap) == []
+        cleanup = """
+        try:
+            risky()
+        except BaseException:
+            undo()
+            raise
+        """
+        assert rule_ids(cleanup) == []
+
+    def test_narrow_except_is_allowed(self):
+        ok = """
+        try:
+            risky()
+        except (OSError, EOFError):
+            pass
+        """
+        assert rule_ids(ok) == []
+
+
+# ----------------------------------------------------------------------
+# scheme-contract (scoped to core/schemes/ plugin modules)
+# ----------------------------------------------------------------------
+GOOD_SCHEME = """
+from .base import SchemeContext, SchemeExecutor
+from .registry import register_scheme
+
+
+@register_scheme("myscheme")
+class MyScheme(SchemeExecutor):
+    cpu_starts_awake = True
+
+    def build(self, ctx):
+        ctx.policy = make_policy()
+        ctx.allow_deep = False
+        ctx.total_irqs = 7
+        ctx.offload_reports["app"] = None  # container mutation is fine
+"""
+
+
+class TestSchemeContract:
+    def test_good_plugin_module_passes(self):
+        assert rule_ids(GOOD_SCHEME, path=SCHEME_PATH) == []
+
+    def test_module_without_registration_is_flagged(self):
+        src = "def helper():\n    return 1"
+        assert rule_ids(src, path=SCHEME_PATH) == ["scheme-one-per-module"]
+
+    def test_second_registration_is_flagged(self):
+        src = GOOD_SCHEME + textwrap.dedent(
+            """
+            @register_scheme("another")
+            class Another(SchemeExecutor):
+                def build(self, ctx):
+                    pass
+            """
+        )
+        assert "scheme-one-per-module" in rule_ids(src, path=SCHEME_PATH)
+
+    def test_missing_build_is_flagged(self):
+        src = """
+        @register_scheme("broken")
+        class Broken(SchemeExecutor):
+            cpu_starts_awake = True
+        """
+        assert "scheme-missing-build" in rule_ids(src, path=SCHEME_PATH)
+
+    def test_build_inherited_from_concrete_scheme_is_allowed(self):
+        src = """
+        @register_scheme("shared")
+        class Shared(BaselineScheme):
+            cpu_starts_awake = False
+        """
+        assert rule_ids(src, path=SCHEME_PATH) == []
+
+    def test_unregistered_base_class_is_flagged(self):
+        src = """
+        @register_scheme("floating")
+        class Floating:
+            def build(self, ctx):
+                pass
+        """
+        assert "scheme-missing-build" in rule_ids(src, path=SCHEME_PATH)
+
+    def test_knob_typo_is_flagged(self):
+        src = GOOD_SCHEME.replace("cpu_starts_awake", "cpu_start_awake")
+        findings = lint_source(textwrap.dedent(src), SCHEME_PATH)
+        assert [f.rule_id for f in findings] == ["scheme-unknown-knob"]
+        assert "cpu_start_awake" in findings[0].message
+
+    def test_ctx_rebind_is_flagged(self):
+        src = GOOD_SCHEME + textwrap.dedent(
+            """
+            def sneaky(ctx):
+                ctx.hub = None
+            """
+        )
+        findings = lint_source(textwrap.dedent(src), SCHEME_PATH)
+        assert [f.rule_id for f in findings] == ["scheme-ctx-rebind"]
+        assert "ctx.hub" in findings[0].message
+
+    def test_plumbing_modules_are_exempt(self):
+        src = "def helper():\n    return 1"
+        for name in ("base.py", "registry.py", "__init__.py"):
+            path = f"src/repro/core/schemes/{name}"
+            assert rule_ids(src, path=path) == []
+
+    def test_not_scoped_outside_schemes(self):
+        src = "def helper():\n    return 1"
+        assert rule_ids(src, path=NEUTRAL_PATH) == []

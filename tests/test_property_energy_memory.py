@@ -38,7 +38,11 @@ def power_traces(draw):
 
 
 @settings(max_examples=100)
-@given(st.dictionaries(st.sampled_from(["cpu", "mcu", "bus"]), power_traces(), min_size=1))
+@given(
+    st.dictionaries(
+        st.sampled_from(["cpu", "mcu", "bus"]), power_traces(), min_size=1
+    )
+)
 def test_integration_matches_manual_sum(traces):
     recorder = TimelineRecorder()
     end_time = 10.0

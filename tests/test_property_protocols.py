@@ -88,7 +88,13 @@ def test_coap_roundtrip_any_message(mtype, code, message_id, token, options, pay
     assert sorted(decoded.options) == sorted(options)
 
 
-@given(st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=12))
+@given(
+    st.text(
+        st.characters(min_codepoint=97, max_codepoint=122),
+        min_size=1,
+        max_size=12,
+    )
+)
 def test_coap_get_path_roundtrip(segment):
     request = CoapMessage.get(f"/{segment}/{segment}", message_id=1)
     decoded = decode_message(encode_message(request))
@@ -118,7 +124,11 @@ def test_blynk_roundtrip_any_frame(command, message_id, body):
 @settings(max_examples=60)
 @given(
     st.dictionaries(
-        st.text(st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8),
+        st.text(
+            st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1,
+            max_size=8,
+        ),
         st.lists(
             st.tuples(
                 st.floats(min_value=0.0, max_value=86_000.0, allow_nan=False),

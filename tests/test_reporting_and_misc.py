@@ -8,6 +8,7 @@ from repro.calibration import Calibration, default_calibration
 from repro.core import Scenario, Scheme, compare_schemes, savings_table
 from repro.core.compare import average_savings
 from repro.energy.report import ROUTINE_LABELS, format_breakdown_table, format_series
+from repro.errors import WorkloadError
 from repro.hw.power import Routine
 from repro.units import (
     kib,
@@ -98,7 +99,7 @@ def test_format_breakdown_table_structure():
 
 def test_format_breakdown_table_rejects_missing_baseline():
     results = compare_schemes(["A2"], [Scheme.BASELINE])
-    with pytest.raises(KeyError):
+    with pytest.raises(WorkloadError):
         format_breakdown_table(
             {name: result.energy for name, result in results.items()},
             baseline_key="nonexistent",
