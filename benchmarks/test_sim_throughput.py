@@ -6,14 +6,27 @@ path (event heap, process resume, power-state recording, pool fan-out)
 show up in benchmark history.
 """
 
+import gc
+import json
 import os
+import statistics
 import time
 
 from conftest import run_once
 from test_fig11_multi_app import fig11_factory, fig11_grid
 
 from repro.core import Scheme, run_apps, run_sweep
+from repro.obs import Metrics, TraceRecorder
 from repro.sim import Delay, Simulator
+
+#: Committed throughput/instrumentation baseline (see the bench below).
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "BENCH_sim_throughput.json"
+)
+
+#: The canonical instrumented scenario: two apps, mixed offload/batching.
+CANONICAL_APPS = ["A2", "A4"]
+CANONICAL_SCHEME = Scheme.BCOM
 
 
 def test_kernel_event_throughput(benchmark):
@@ -76,3 +89,134 @@ def test_fig11_sweep_parallel_wallclock(benchmark, figure_printer):
         # fork overhead makes a speedup physically impossible, so only
         # the bit-identical records are asserted there.
         assert t_parallel < t_serial
+
+
+def _canonical_run(obs=None):
+    """One canonical instrumented scenario execution."""
+    return run_apps(CANONICAL_APPS, CANONICAL_SCHEME, obs=obs)
+
+
+def _paired_overhead(first, second, rounds=15):
+    """Relative cost of ``second`` over ``first``, measured pairwise.
+
+    Runs the two workloads back to back ``rounds`` times and takes the
+    median of the per-pair differences — pairing cancels slow host drift
+    (thermal throttling, noisy neighbors) and the median discards
+    per-run jitter, which min-of-N over separate blocks does not.  The
+    order within each pair alternates so cache warm-up does not always
+    favor the same side, and the collector is paused while timing (as
+    pyperf does) so a gen-0 sweep landing mid-run is not charged to
+    whichever workload happened to trip the threshold.
+    Returns ``(first_median_s, second_median_s, overhead_fraction)``.
+    """
+    firsts, diffs = [], []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for index in range(rounds):
+            a, b = (first, second) if index % 2 == 0 else (second, first)
+            gc.collect()
+            started = time.perf_counter()
+            a()
+            elapsed_a = time.perf_counter() - started
+            started = time.perf_counter()
+            b()
+            elapsed_b = time.perf_counter() - started
+            if index % 2 == 0:
+                elapsed_first, elapsed_second = elapsed_a, elapsed_b
+            else:
+                elapsed_first, elapsed_second = elapsed_b, elapsed_a
+            firsts.append(elapsed_first)
+            diffs.append(elapsed_second - elapsed_first)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    base = statistics.median(firsts)
+    diff = statistics.median(diffs)
+    return base, base + diff, diff / base
+
+
+def test_observability_overhead(benchmark, figure_printer):
+    """Attaching a TraceRecorder must not perturb results and must cost
+    under 5% wall time on the canonical scenario."""
+
+    def measure():
+        _canonical_run()  # warm caches before timing
+        plain_s, observed_s, overhead = _paired_overhead(
+            _canonical_run, lambda: _canonical_run(obs=TraceRecorder())
+        )
+        plain = _canonical_run()
+        recorder = TraceRecorder()
+        observed = _canonical_run(obs=recorder)
+        return plain, observed, recorder, plain_s, observed_s, overhead
+
+    plain, observed, recorder, plain_s, observed_s, overhead = run_once(
+        benchmark, measure
+    )
+    # Golden parity: bit-identical, not approximately equal.
+    assert observed.energy.total_j == plain.energy.total_j
+    assert observed.duration_s == plain.duration_s
+    assert observed.interrupt_count == plain.interrupt_count
+    events = recorder.counters["sim.events"]
+    figure_printer(
+        "Infra — observability overhead",
+        f"{'+'.join(CANONICAL_APPS)} {CANONICAL_SCHEME}: "
+        f"off {plain_s * 1000:.1f} ms, on {observed_s * 1000:.1f} ms "
+        f"({overhead:+.1%}); {events} events, "
+        f"{len(recorder.spans)} spans, "
+        f"{events / observed_s:,.0f} events/s instrumented",
+    )
+    assert overhead < 0.05
+
+
+def test_sim_metrics_baseline(benchmark, figure_printer):
+    """The canonical scenario's instrumentation snapshot matches the
+    committed ``BENCH_sim_throughput.json`` baseline exactly.
+
+    The simulator is deterministic, so event counts, heap depth and
+    virtual-time span totals are stable across hosts; any drift means
+    the simulation itself changed and the baseline must be regenerated
+    (run with ``REPRO_BENCH_UPDATE=1``) and reviewed.
+    """
+
+    def measure():
+        recorder = TraceRecorder()
+        started = time.perf_counter()
+        _canonical_run(obs=recorder)
+        return recorder, time.perf_counter() - started
+
+    recorder, wall_s = run_once(benchmark, measure)
+    snapshot = Metrics.from_recorder(recorder).snapshot()
+    events = recorder.counters["sim.events"]
+    if os.environ.get("REPRO_BENCH_UPDATE"):
+        document = {
+            "version": 1,
+            "scenario": {
+                "apps": CANONICAL_APPS,
+                "scheme": str(CANONICAL_SCHEME),
+                "windows": 1,
+            },
+            "deterministic": snapshot,
+            "wall_informational": {
+                "generated_on": time.strftime("%Y-%m-%d"),
+                "sim_wall_s": round(wall_s, 4),
+                "events_per_sec": round(events / wall_s),
+            },
+        }
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    with open(BASELINE_PATH, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    figure_printer(
+        "Infra — sim throughput baseline",
+        f"{events} events in {wall_s:.3f} s "
+        f"({events / wall_s:,.0f}/s); baseline generated "
+        f"{baseline['wall_informational']['generated_on']}",
+    )
+    assert baseline["scenario"] == {
+        "apps": CANONICAL_APPS,
+        "scheme": str(CANONICAL_SCHEME),
+        "windows": 1,
+    }
+    assert snapshot == baseline["deterministic"]

@@ -42,6 +42,7 @@ class Finding:
 
     @property
     def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable report order: path, then position, then rule id."""
         return (self.path, self.line, self.col, self.rule_id)
 
     def format(self) -> str:

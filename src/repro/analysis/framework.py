@@ -69,6 +69,7 @@ class FileContext:
     # -- path scoping --------------------------------------------------
     @property
     def filename(self) -> str:
+        """The path's final component (``base.py`` for any directory)."""
         return self._parts[-1] if self._parts else self.path
 
     def in_dirs(self, names: Iterable[str]) -> bool:
@@ -78,6 +79,11 @@ class FileContext:
 
     # -- emission ------------------------------------------------------
     def suppressed(self, rule_id: str, line: int) -> bool:
+        """True when a ``# repro-lint: disable=`` comment covers the line.
+
+        A suppression token matches the exact rule id, its family, or
+        the catch-all ``all``.
+        """
         tokens = self.suppressions.get(line)
         if not tokens:
             return False
@@ -85,6 +91,7 @@ class FileContext:
         return bool({"all", rule_id, family} & tokens)
 
     def emit(self, finding: Finding) -> None:
+        """Record a finding unless an inline suppression covers it."""
         if not self.suppressed(finding.rule_id, finding.line):
             self.findings.append(finding)
 
@@ -107,6 +114,7 @@ class Rule:
 
     @property
     def family(self) -> str:
+        """The rule id's leading segment (``units``, ``det``, ...)."""
         return self.rule_id.split("-", 1)[0]
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -126,6 +134,7 @@ class Rule:
         message: str,
         **data: object,
     ) -> None:
+        """Report a finding at ``node``'s location with this rule's id."""
         ctx.emit(
             Finding(
                 path=ctx.path,

@@ -4,6 +4,6 @@ One module per rule family — mirror this layout (and see
 ``docs/static-analysis.md``) when adding a family.
 """
 
-from . import determinism, errors, schemes, units  # noqa: F401
+from . import determinism, docs, errors, schemes, units  # noqa: F401
 
-__all__ = ["determinism", "errors", "schemes", "units"]
+__all__ = ["determinism", "docs", "errors", "schemes", "units"]

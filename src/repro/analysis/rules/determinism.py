@@ -57,6 +57,7 @@ class DeterminismRule(Rule):
     """Base: only runs inside the deterministic simulation directories."""
 
     def applies_to(self, ctx: FileContext) -> bool:
+        """Scope to sim/, hw/ and schemes/ directory components."""
         return ctx.in_dirs(DETERMINISTIC_DIRS)
 
 
@@ -77,6 +78,7 @@ class WallClockRule(DeterminismRule):
     )
 
     def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        """Flag calls whose dotted tail matches a known clock read."""
         dotted = _dotted(node.func)
         if dotted is None:
             return
@@ -111,6 +113,7 @@ class UnseededRandomRule(DeterminismRule):
     )
 
     def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        """Flag stdlib/numpy RNG calls that are global or unseeded."""
         dotted = _dotted(node.func)
         if dotted is None:
             return
@@ -187,16 +190,19 @@ class SetOrderRule(DeterminismRule):
         )
 
     def visit_For(self, ctx: FileContext, node: ast.For) -> None:
+        """Flag ``for ... in {…}`` / ``in set(...)`` loops."""
         if self._is_set_expr(node.iter):
             self._flag(ctx, node.iter)
 
     def visit_comprehension(
         self, ctx: FileContext, node: ast.comprehension
     ) -> None:
+        """Flag set iteration inside comprehension ``for`` clauses."""
         if self._is_set_expr(node.iter):
             self._flag(ctx, node.iter)
 
     def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        """Flag order-materializing calls (list/join/...) over a set."""
         if not node.args or not self._is_set_expr(node.args[0]):
             return
         if isinstance(node.func, ast.Name):

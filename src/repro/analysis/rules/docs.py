@@ -1,0 +1,90 @@
+"""Documentation rules.
+
+The library's docs strategy is docstring-first: ``docs/architecture.md``
+points into the modules, the CLI prints scheme/rule summaries straight
+from docstrings, and reviewers navigate by them.  That only works if
+every *public* name actually has one.  This family keeps the public
+surface of ``src/repro/`` documented; private helpers (leading
+underscore) and property setters/deleters (the getter carries the doc)
+are exempt, and intentional gaps can be suppressed inline with
+``# repro-lint: disable=docs-missing-docstring``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from ..framework import FileContext, Rule, register_rule
+
+_Def = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef]
+
+
+def _is_public(name: str) -> bool:
+    """Public under the usual convention: no leading underscore."""
+    return not name.startswith("_")
+
+
+def _is_property_companion(node: ast.AST) -> bool:
+    """True for ``@x.setter`` / ``@x.deleter`` methods (getter has the doc)."""
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Attribute) and decorator.attr in (
+            "setter",
+            "deleter",
+        ):
+            return True
+    return False
+
+
+@register_rule
+class MissingDocstringRule(Rule):
+    """Public API without a docstring."""
+
+    rule_id = "docs-missing-docstring"
+    description = (
+        "public function, class or method in src/repro/ without a"
+        " docstring — the docs and the CLI render straight from them"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Only library code: path must contain a ``repro`` directory."""
+        return ctx.in_dirs({"repro"})
+
+    def finish_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Check module-level defs and, one level down, class bodies."""
+        for node in tree.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                self._check(ctx, node, kind="function")
+
+    def _check(self, ctx: FileContext, node: _Def, kind: str) -> None:
+        if not _is_public(node.name) or _is_property_companion(node):
+            return
+        if isinstance(node, ast.ClassDef):
+            if ast.get_docstring(node) is None:
+                self.emit(
+                    ctx,
+                    node,
+                    f"public class {node.name!r} has no docstring",
+                    name=node.name,
+                )
+            for child in node.body:
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    self._check(ctx, child, kind=f"method {node.name}.")
+            return
+        if ast.get_docstring(node) is None:
+            label = "method" if kind.startswith("method") else "function"
+            qualname = f"{kind[7:]}{node.name}" if label == "method" else (
+                node.name
+            )
+            self.emit(
+                ctx,
+                node,
+                f"public {label} {qualname!r} has no docstring",
+                name=qualname,
+            )

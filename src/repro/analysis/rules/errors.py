@@ -74,6 +74,7 @@ class RaiseForeignRule(Rule):
     )
 
     def visit_Raise(self, ctx: FileContext, node: ast.Raise) -> None:
+        """Flag ``raise <builtin>`` statements for forbidden builtins."""
         name = _exception_name(node.exc)
         if name in FORBIDDEN_RAISES:
             self.emit(
@@ -98,6 +99,7 @@ class SwallowedExceptionRule(Rule):
     def visit_ExceptHandler(
         self, ctx: FileContext, node: ast.ExceptHandler
     ) -> None:
+        """Flag broad handlers with no ``raise`` anywhere in their body."""
         if not self._is_broad(node.type):
             return
         if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):

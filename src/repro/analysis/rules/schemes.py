@@ -63,6 +63,7 @@ class SchemeModuleRule(Rule):
     """Base: only runs on plugin modules under a ``schemes`` directory."""
 
     def applies_to(self, ctx: FileContext) -> bool:
+        """Scope to schemes/ plugins, skipping the framework files."""
         return (
             ctx.in_dirs({"schemes"}) and ctx.filename not in NON_PLUGIN_FILES
         )
@@ -79,6 +80,7 @@ class OneSchemePerModuleRule(SchemeModuleRule):
     )
 
     def finish_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Count @register_scheme classes; flag zero or more than one."""
         registered = _registered_classes(tree)
         if len(registered) == 1:
             return
@@ -110,6 +112,7 @@ class SchemeHooksRule(SchemeModuleRule):
     )
 
     def finish_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Check each registered class's bases and build() hook."""
         for cls in _registered_classes(tree):
             bases = _base_names(cls)
             if not bases:
@@ -156,6 +159,7 @@ class SchemeKnobsRule(SchemeModuleRule):
     )
 
     def finish_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Flag class-level assignments outside the knob allow-list."""
         for cls in _registered_classes(tree):
             for node in cls.body:
                 for name, target in self._assigned_names(node):
@@ -192,13 +196,16 @@ class CtxRebindRule(SchemeModuleRule):
     )
 
     def visit_Assign(self, ctx: FileContext, node: ast.Assign) -> None:
+        """Check every assignment target for a ``ctx.<attr>`` rebind."""
         for target in node.targets:
             self._check_target(ctx, target)
 
     def visit_AnnAssign(self, ctx: FileContext, node: ast.AnnAssign) -> None:
+        """Check annotated assignments for a ``ctx.<attr>`` rebind."""
         self._check_target(ctx, node.target)
 
     def visit_AugAssign(self, ctx: FileContext, node: ast.AugAssign) -> None:
+        """Check augmented assignments for a ``ctx.<attr>`` rebind."""
         self._check_target(ctx, node.target)
 
     def _check_target(self, ctx: FileContext, target: ast.AST) -> None:

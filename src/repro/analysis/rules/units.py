@@ -74,6 +74,7 @@ class MagicLiteralRule(Rule):
     )
 
     def visit_BinOp(self, ctx: FileContext, node: ast.BinOp) -> None:
+        """Flag ``unit_expr * 10^k`` / ``unit_expr / 10^-k`` patterns."""
         if not isinstance(node.op, (ast.Mult, ast.Div)):
             return
         for operand, other, operand_is_left in (
@@ -112,14 +113,17 @@ class MagicLiteralRule(Rule):
         return None
 
     def visit_Assign(self, ctx: FileContext, node: ast.Assign) -> None:
+        """Check ``*_s = <literal>`` bindings for magic sub-second values."""
         for target in node.targets:
             self._check_binding(ctx, target, node.value)
 
     def visit_AnnAssign(self, ctx: FileContext, node: ast.AnnAssign) -> None:
+        """Check annotated ``*_s`` bindings for magic sub-second values."""
         if node.value is not None:
             self._check_binding(ctx, node.target, node.value)
 
     def visit_keyword(self, ctx: FileContext, node: ast.keyword) -> None:
+        """Check ``fn(..., x_s=<literal>)`` keyword arguments too."""
         if node.arg and node.arg.endswith("_s"):
             self._check_seconds_literal(ctx, node.arg, node.value)
 
@@ -158,6 +162,7 @@ class FloatEqualityRule(Rule):
     )
 
     def visit_Compare(self, ctx: FileContext, node: ast.Compare) -> None:
+        """Flag exact equality between unit-suffixed float expressions."""
         operands = [node.left, *node.comparators]
         for op, left, right in zip(node.ops, operands, operands[1:]):
             if not isinstance(op, (ast.Eq, ast.NotEq)):

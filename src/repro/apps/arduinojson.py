@@ -34,6 +34,7 @@ class ArduinoJsonApp(IoTApp):
         self.documents_built = 0
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Serialize the window's readings into a JSON document."""
         document = {
             "device": "hub-01",
             "window": window.window_index,

@@ -49,6 +49,7 @@ class BlynkApp(IoTApp):
         return self._message_id
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Summarize each stream into a Blynk virtual-write frame."""
         frames = []
         for sensor_id, pin in PIN_MAP.items():
             series = window.scalar_series(sensor_id)

@@ -44,6 +44,7 @@ class CoapServerApp(IoTApp):
         return self._message_id
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Publish light/sound summaries and serve the pending GETs."""
         light = window.scalar_series("S7")
         sound = window.scalar_series("S8")
         self.server.publish(

@@ -54,6 +54,7 @@ class DropboxApp(IoTApp):
             del self._log[: len(self._log) - MAX_LOG_BYTES]
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Append the window to the log and sync only the changed chunks."""
         self._append_window(window)
         snapshot = bytes(self._log)
         delta = compute_delta(snapshot, self._store.signatures())

@@ -42,6 +42,7 @@ class EarthquakeApp(IoTApp):
         self.detections = 0
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Run STA/LTA tremor detection over the accelerometer window."""
         vectors = window.values("S4")
         shaking = magnitude(vectors) - GRAVITY
         ratio = sta_lta(shaking, STA_SAMPLES, LTA_SAMPLES)

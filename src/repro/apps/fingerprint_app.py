@@ -61,6 +61,7 @@ class FingerprintApp(IoTApp):
         return None
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Match the window's scan against the database, enrolling misses."""
         reader = window.sources.get("S3")
         if reader is None:
             raise WorkloadError("fingerprint: window carries no scanner source")

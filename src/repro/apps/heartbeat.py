@@ -45,6 +45,7 @@ class HeartbeatApp(IoTApp):
         self.irregular_windows = 0
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Detect beats in the ECG window and score rhythm regularity."""
         series = window.scalar_series("S6")
         rate = self.profile.rate_hz("S6")
         smoothed = moving_average(series, SMOOTHING_SAMPLES)

@@ -49,6 +49,7 @@ class JpegDecoderApp(IoTApp):
         self.frames_decoded = 0
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Decode the frame captured in this window to pixel statistics."""
         camera = window.sources.get("S10")
         if camera is None:
             raise WorkloadError("jpeg: window carries no camera source")

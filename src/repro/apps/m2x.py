@@ -44,6 +44,7 @@ class M2XApp(IoTApp):
         self.points_uploaded = 0
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Decimate the window's streams into one M2X update payload."""
         batch = M2XBatch(device_id="hub-01")
         for sensor_id, stream in STREAM_NAMES.items():
             # The cloud plan rate-limits points per stream: decimate dense

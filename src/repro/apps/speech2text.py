@@ -122,6 +122,7 @@ class SpeechToTextApp(IoTApp):
         return words
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Recognize spoken words in the window's audio signal."""
         signal = window.scalar_series("S8")
         words = self.recognize(signal)
         self.words_recognized += len(words)

@@ -40,6 +40,7 @@ class StepCounterApp(IoTApp):
         self.total_steps = 0
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Count steps as threshold-crossing peaks in the magnitude."""
         vectors = window.values("S4")
         series = magnitude(vectors) - GRAVITY
         smoothed = moving_average(series, SMOOTHING_SAMPLES)

@@ -10,8 +10,12 @@ Subcommands:
 * ``schemes`` — list the registered execution schemes.
 * ``tables`` — print Table I and Table II.
 * ``apps`` — list the workloads with their offload verdicts.
+* ``profile A2 A4 --scheme bcom --format chrome --out trace.json`` —
+  run a scenario with instrumentation attached and export the
+  simulator's own spans/counters (text summary, JSONL, or a Chrome
+  ``trace_event`` file for Perfetto); see ``docs/observability.md``.
 * ``lint src/`` — run the repo's own static analysis (units discipline,
-  determinism, error surface, scheme contracts); see
+  determinism, error surface, scheme contracts, docstrings); see
   ``docs/static-analysis.md``.
 """
 
@@ -69,6 +73,34 @@ def _add_compare_parser(subparsers) -> None:
         "--cache-dir",
         default=None,
         help="memoize results on disk by scenario fingerprint",
+    )
+
+
+def _add_profile_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "profile",
+        help="run a scenario with sim instrumentation and export the trace",
+    )
+    parser.add_argument("apps", nargs="+", help="Table II ids (A1..A11)")
+    parser.add_argument(
+        "--scheme", default=Scheme.BASELINE, choices=scheme_names()
+    )
+    parser.add_argument("--windows", type=int, default=1)
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="partial batch size"
+    )
+    parser.add_argument(
+        "--format",
+        dest="format",
+        default="summary",
+        choices=["summary", "jsonl", "chrome"],
+        help="summary = terminal table; jsonl = one record per line; "
+        "chrome = trace_event JSON for chrome://tracing / Perfetto",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the export here instead of stdout",
     )
 
 
@@ -146,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000.0,
         help="sampling interval in microseconds (default 1000)",
     )
+    _add_profile_parser(subparsers)
     _add_lint_parser(subparsers)
     return parser
 
@@ -247,6 +280,43 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from .core import Scenario
+    from .core.schemes.base import execute_scenario
+    from .obs import (
+        TraceRecorder,
+        render_summary,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    scenario = Scenario.of(
+        args.apps,
+        scheme=args.scheme,
+        windows=args.windows,
+        batch_size=args.batch_size,
+    )
+    recorder = TraceRecorder()
+    result = execute_scenario(scenario, obs=recorder)
+    if args.format == "summary":
+        text = result.summary() + "\n\n" + render_summary(recorder) + "\n"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            sys.stdout.write(text)
+        return 0
+    writer = write_jsonl if args.format == "jsonl" else write_chrome_trace
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            records = writer(recorder, handle)
+        noun = "record(s)" if args.format == "jsonl" else "trace event(s)"
+        print(f"wrote {records} {noun} to {args.out}")
+    else:
+        writer(recorder, sys.stdout)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis import (
         LintConfigError,
@@ -289,6 +359,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_schemes()
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

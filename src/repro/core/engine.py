@@ -27,10 +27,12 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ReproError
+from ..obs.metrics import EngineMetrics
 from .results import RunResult
 from .scenario import Scenario
 from .schemes.base import execute_scenario
@@ -93,17 +95,23 @@ def strip_hub(result: RunResult) -> RunResult:
 
 def _run_remote(
     item: Tuple[int, Scenario]
-) -> Tuple[int, Optional[RunResult], Optional[ReproError]]:
+) -> Tuple[int, Optional[RunResult], Optional[ReproError], Tuple[int, float]]:
     """Pool worker: run one scenario, capturing only library errors.
 
     Unexpected exceptions propagate through ``future.result()`` so real
-    bugs surface in the parent instead of hiding in sweep output.
+    bugs surface in the parent instead of hiding in sweep output.  The
+    trailing ``(pid, wall_seconds)`` pair feeds the engine's per-worker
+    accounting.
     """
     index, scenario = item
+    started = time.perf_counter()
     try:
-        return index, strip_hub(execute_scenario(scenario)), None
+        result: Optional[RunResult] = strip_hub(execute_scenario(scenario))
+        error: Optional[ReproError] = None
     except ReproError as exc:
-        return index, None, exc
+        result, error = None, exc
+    elapsed = time.perf_counter() - started
+    return index, result, error, (os.getpid(), elapsed)
 
 
 #: One batch outcome: a result, or the ReproError that stopped the point.
@@ -128,8 +136,34 @@ class ScenarioEngine:
             raise ValueError(f"need at least one worker, got {workers}")
         self.workers = int(workers)
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
-        self.cache_hits = 0
-        self.cache_misses = 0
+        #: Wall-clock instrumentation: cache traffic, fingerprint cost,
+        #: per-worker time and scenarios/second.
+        self.metrics = EngineMetrics()
+        #: Maps a pool worker's pid to its stable ``w<N>`` label.
+        self._worker_labels: Dict[int, str] = {}
+
+    @property
+    def cache_hits(self) -> int:
+        """Results served from the fingerprint cache so far."""
+        return self.metrics.cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Scenarios that had to be simulated (and then cached)."""
+        return self.metrics.cache_misses
+
+    def _fingerprint(self, scenario: Scenario) -> str:
+        """Fingerprint one scenario, charging the time to the metrics."""
+        started = time.perf_counter()
+        fingerprint = scenario_fingerprint(scenario)
+        self.metrics.fingerprint_wall_s += time.perf_counter() - started
+        return fingerprint
+
+    def _worker_label(self, pid: int) -> str:
+        """Stable ``w<N>`` label for a worker pid, in first-seen order."""
+        if pid not in self._worker_labels:
+            self._worker_labels[pid] = f"w{len(self._worker_labels)}"
+        return self._worker_labels[pid]
 
     # ------------------------------------------------------------------
     # cache
@@ -176,17 +210,26 @@ class ScenarioEngine:
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> RunResult:
         """Run one scenario: cache hit, or simulate (and populate cache)."""
+        started = time.perf_counter()
         fingerprint = None
         if self.cache_dir is not None:
-            fingerprint = scenario_fingerprint(scenario)
+            fingerprint = self._fingerprint(scenario)
             cached = self._cache_load(fingerprint)
             if cached is not None:
-                self.cache_hits += 1
+                self.metrics.cache_hits += 1
+                self.metrics.run_wall_s += time.perf_counter() - started
                 return cached
+        sim_started = time.perf_counter()
         result = execute_scenario(scenario)
+        self.metrics.note_worker(
+            self._worker_label(os.getpid()),
+            time.perf_counter() - sim_started,
+        )
+        self.metrics.scenarios_run += 1
         if fingerprint is not None:
-            self.cache_misses += 1
+            self.metrics.cache_misses += 1
             self._cache_store(fingerprint, result)
+        self.metrics.run_wall_s += time.perf_counter() - started
         return result
 
     def run_batch(self, scenarios: Sequence[Scenario]) -> List[Outcome]:
@@ -197,16 +240,17 @@ class ScenarioEngine:
         exceptions always propagate — a real bug in one point aborts the
         whole batch instead of disappearing into per-point errors.
         """
+        started = time.perf_counter()
         outcomes: List[Optional[Outcome]] = [None] * len(scenarios)
         pending: List[Tuple[int, Scenario]] = []
         fingerprints: Dict[int, str] = {}
         for index, scenario in enumerate(scenarios):
             if self.cache_dir is not None:
-                fingerprint = scenario_fingerprint(scenario)
+                fingerprint = self._fingerprint(scenario)
                 fingerprints[index] = fingerprint
                 cached = self._cache_load(fingerprint)
                 if cached is not None:
-                    self.cache_hits += 1
+                    self.metrics.cache_hits += 1
                     outcomes[index] = cached
                     continue
             pending.append((index, scenario))
@@ -214,20 +258,32 @@ class ScenarioEngine:
             with ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending))
             ) as pool:
-                for index, result, error in pool.map(_run_remote, pending):
+                for index, result, error, (pid, elapsed) in pool.map(
+                    _run_remote, pending
+                ):
                     outcomes[index] = result if error is None else error
+                    self.metrics.note_worker(
+                        self._worker_label(pid), elapsed
+                    )
         else:
             for index, scenario in pending:
+                sim_started = time.perf_counter()
                 try:
                     outcomes[index] = execute_scenario(scenario)
                 except ReproError as exc:
                     outcomes[index] = exc
+                self.metrics.note_worker(
+                    self._worker_label(os.getpid()),
+                    time.perf_counter() - sim_started,
+                )
+        self.metrics.scenarios_run += len(pending)
         for index, scenario in pending:
             outcome = outcomes[index]
             if isinstance(outcome, RunResult):
                 if self.cache_dir is not None:
-                    self.cache_misses += 1
+                    self.metrics.cache_misses += 1
                     self._cache_store(fingerprints[index], outcome)
+        self.metrics.run_wall_s += time.perf_counter() - started
         return [outcome for outcome in outcomes if outcome is not None]
 
     def run_many(self, scenarios: Sequence[Scenario]) -> List[RunResult]:

@@ -7,8 +7,9 @@ keeps the historical convenience API on top of them.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..obs.recorder import NullRecorder
 from .results import RunResult
 from .scenario import Scenario
 from .schemes.base import SchemeContext, execute_scenario
@@ -24,11 +25,13 @@ class ScenarioRunner:
     parallel fan-out.
     """
 
-    def __init__(self, scenario: Scenario):
+    def __init__(
+        self, scenario: Scenario, obs: Optional[NullRecorder] = None
+    ):
         self.scenario = scenario
         self.executor = get_scheme(scenario.scheme)()
         self.ctx = SchemeContext(
-            scenario, cpu_starts_awake=self.executor.cpu_starts_awake
+            scenario, cpu_starts_awake=self.executor.cpu_starts_awake, obs=obs
         )
 
     @property
@@ -50,9 +53,11 @@ class ScenarioRunner:
         return ctx.collect(end_time)
 
 
-def run_scenario(scenario: Scenario) -> RunResult:
+def run_scenario(
+    scenario: Scenario, obs: Optional[NullRecorder] = None
+) -> RunResult:
     """Execute one scenario under its registered scheme."""
-    return execute_scenario(scenario)
+    return execute_scenario(scenario, obs=obs)
 
 
 def run_apps(
@@ -61,6 +66,7 @@ def run_apps(
     windows: int = 1,
     calibration=None,
     waveforms=None,
+    obs: Optional[NullRecorder] = None,
 ) -> RunResult:
     """Run Table II apps by id under one scheme."""
     return run_scenario(
@@ -70,5 +76,6 @@ def run_apps(
             windows=windows,
             calibration=calibration,
             waveforms=waveforms,
-        )
+        ),
+        obs=obs,
     )

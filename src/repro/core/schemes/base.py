@@ -16,7 +16,7 @@ simulation to completion and integrate the energy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import ClassVar, Dict, List, Sequence, Tuple
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple
 
 from ...apps.base import AppResult, IoTApp, SampleWindow
 from ...errors import CapacityError, WorkloadError
@@ -35,6 +35,7 @@ from ...hw.board import IoTHub
 from ...hw.cpu import CpuState
 from ...hw.mcu import McuState
 from ...hw.power import Routine
+from ...obs.recorder import NullRecorder
 from ...sensors.base import SensorDevice
 from ...sim.process import Delay, Signal, Wait
 from ...units import to_ms
@@ -65,6 +66,7 @@ class Stream:
 
     @property
     def key(self) -> str:
+        """Stable stream label: ``<sensor>@<app>[+<app>...]``."""
         apps = "+".join(app.name for app in self.subscribers)
         return f"{self.sensor_id}@{apps}"
 
@@ -111,12 +113,19 @@ class SchemeContext:
     ``allow_deep``, ``use_governor``, ``rest_routine``).
     """
 
-    def __init__(self, scenario, cpu_starts_awake: bool = False):
+    def __init__(
+        self,
+        scenario,
+        cpu_starts_awake: bool = False,
+        obs: Optional[NullRecorder] = None,
+    ):
         self.scenario = scenario
         self.cal = scenario.calibration
         # Governor-less schemes keep the CPU online from the start.
         initial_cpu = CpuState.IDLE if cpu_starts_awake else CpuState.DEEP_SLEEP
-        self.hub = IoTHub(self.cal, cpu_initial_state=initial_cpu)
+        self.hub = IoTHub(self.cal, cpu_initial_state=initial_cpu, obs=obs)
+        #: Instrumentation sink (shared with the kernel; no-op by default).
+        self.obs = self.hub.obs
         self.governor = SleepGovernor(self.hub.cpu)
         self.devices: Dict[str, SensorDevice] = {}
         for sensor_id in scenario.sensor_ids:
@@ -183,6 +192,7 @@ class SchemeContext:
     # window bookkeeping
     # ------------------------------------------------------------------
     def window_state(self, app: IoTApp, index: int) -> WindowState:
+        """The (lazily created) collection state of one app window."""
         key = (app.name, index)
         if key not in self._windows:
             start = index * app.profile.window_s
@@ -211,6 +221,7 @@ class SchemeContext:
         return self._windows[key]
 
     def record_result(self, app: IoTApp, result: AppResult) -> None:
+        """Log one delivered window result and check its QoS deadline."""
         now = self.hub.sim.now
         self._app_results[app.name].append(result)
         self._result_times[app.name].append(now)
@@ -288,6 +299,7 @@ class SchemeContext:
         return streams
 
     def sample_times(self, streams: Sequence[Stream]) -> List[float]:
+        """Every scheduled poll instant across the given streams."""
         times: List[float] = []
         for stream in streams:
             for window_index in range(self.scenario.windows):
@@ -299,6 +311,7 @@ class SchemeContext:
         return times
 
     def window_boundaries(self, apps: Sequence[IoTApp]) -> List[float]:
+        """Window-close instants for every (app, window) pair."""
         return [
             (window_index + 1) * app.profile.window_s
             for app in apps
@@ -311,21 +324,40 @@ class SchemeContext:
     def poll_stream_interrupting(self, stream: Stream):
         """Baseline/BEAM: poll and interrupt the CPU per sample."""
         device = self.devices[stream.sensor_id]
+        # Hoisted out of the per-sample loop: stream.key builds a string
+        # per call, sim.now is a property read, and the enabled flag and
+        # span method are attribute lookups the loop repeats thousands of
+        # times.  The recorder never changes mid-run, so this is safe.
+        obs = self.obs
+        observing = obs.enabled
+        span = obs.span
+        sim = self.hub.sim
+        key = stream.key
         for window_index in range(self.scenario.windows):
             window_start = window_index * stream.window_s
             for k in range(stream.samples_per_window):
                 target = window_start + k / stream.rate_hz
-                now = self.hub.sim.now
+                now = sim.now
                 if target > now:
-                    self.mcu_rest(stream.key, target)
+                    self.mcu_rest(key, target)
                     yield Delay(target - now)
                 self.mcu_wake()
+                if observing:
+                    t0 = sim.now
                 sample = yield from read_and_decode(self.hub, device)
+                if observing:
+                    t1 = sim.now
+                    span("sense", key, t0, t1)
                 yield from raise_interrupt(
                     self.hub, "sample", (stream, window_index, k, sample)
                 )
+                if observing:
+                    t2 = sim.now
+                    span("irq", "sample", t1, t2)
                 yield from mcu_transfer_busy(self.hub, 1, bulk=False)
-        self._mcu_next_polls.pop(stream.key, None)
+                if observing:
+                    span("transfer", "mcu:sample", t2, sim.now)
+        self._mcu_next_polls.pop(key, None)
 
     def poll_stream_buffering(
         self,
@@ -344,16 +376,29 @@ class SchemeContext:
         """
         device = self.devices[stream.sensor_id]
         stream_count = len(app.profile.sensor_ids)
+        # Hoisted out of the per-sample loop: stream.key builds a string
+        # per call, sim.now is a property read, and the enabled flag and
+        # span method are attribute lookups the loop repeats thousands of
+        # times.  The recorder never changes mid-run, so this is safe.
+        obs = self.obs
+        observing = obs.enabled
+        span = obs.span
+        sim = self.hub.sim
+        key = stream.key
         for window_index in range(self.scenario.windows):
             window_start = window_index * stream.window_s
             for k in range(stream.samples_per_window):
                 target = window_start + k / stream.rate_hz
-                now = self.hub.sim.now
+                now = sim.now
                 if target > now:
-                    self.mcu_rest(stream.key, target)
+                    self.mcu_rest(key, target)
                     yield Delay(target - now)
                 self.mcu_wake()
+                if observing:
+                    t0 = sim.now
                 sample = yield from read_and_decode(self.hub, device)
+                if observing:
+                    span("sense", key, t0, sim.now)
                 if buffer is not None:
                     try:
                         buffer.add(sample, stream.sample_bytes)
@@ -374,7 +419,7 @@ class SchemeContext:
             coordinator[window_index] = coordinator.get(window_index, 0) + 1
             if coordinator[window_index] == stream_count:
                 yield from on_window_full(window_index, buffer)
-        self._mcu_next_polls.pop(stream.key, None)
+        self._mcu_next_polls.pop(key, None)
 
     def ship_batch(
         self, app: IoTApp, window_index: int, buffer: BatchBuffer, final: bool
@@ -388,10 +433,18 @@ class SchemeContext:
         nbytes = max(1, buffer.buffered_bytes)
         samples = buffer.flush()
         count = len(samples)
+        obs = self.obs
+        if obs.enabled:
+            t0 = self.hub.sim.now
         yield from raise_interrupt(
             self.hub, "batch", (app, window_index, count, nbytes, final)
         )
+        if obs.enabled:
+            t1 = self.hub.sim.now
+            obs.span("irq", "batch", t0, t1)
         yield from mcu_transfer_busy(self.hub, max(1, count), bulk=True)
+        if obs.enabled:
+            obs.span("transfer", "mcu:batch", t1, self.hub.sim.now)
 
     def batch_handoff(self, app: IoTApp):
         """Make the batching hand-off generator for one app."""
@@ -405,28 +458,52 @@ class SchemeContext:
         """Make the COM hand-off: compute on MCU, ship only the result."""
 
         def handoff(window_index: int, buffer):
+            obs = self.obs
             state = self.window_state(app, window_index)
+            if obs.enabled:
+                t0 = self.hub.sim.now
             result = yield from run_offloaded_compute(
                 self.hub, app, state.window
             )
+            if obs.enabled:
+                t1 = self.hub.sim.now
+                obs.span("compute", f"mcu:{app.name}", t0, t1)
             yield from raise_interrupt(
                 self.hub, "result", (app, window_index, result)
             )
+            if obs.enabled:
+                t2 = self.hub.sim.now
+                obs.span("irq", "result", t1, t2)
             yield from mcu_transfer_busy(self.hub, 1, bulk=False)
+            if obs.enabled:
+                obs.span("transfer", "mcu:result", t2, self.hub.sim.now)
 
         return handoff
 
     def poll_stream_cpu(self, stream: Stream):
         """§II-A main-board polling: the CPU blocks on each read."""
         device = self.devices[stream.sensor_id]
+        # Hoisted out of the per-sample loop: stream.key builds a string
+        # per call, sim.now is a property read, and the enabled flag and
+        # span method are attribute lookups the loop repeats thousands of
+        # times.  The recorder never changes mid-run, so this is safe.
+        obs = self.obs
+        observing = obs.enabled
+        span = obs.span
+        sim = self.hub.sim
+        key = stream.key
         for window_index in range(self.scenario.windows):
             window_start = window_index * stream.window_s
             for k in range(stream.samples_per_window):
                 target = window_start + k / stream.rate_hz
-                now = self.hub.sim.now
+                now = sim.now
                 if target > now:
                     yield Delay(target - now)
+                if observing:
+                    t0 = sim.now
                 sample = yield from cpu_blocking_read(self.hub, device)
+                if observing:
+                    span("sense", key, t0, sim.now)
                 for app in stream.subscribers:
                     state = self.window_state(app, window_index)
                     if state.register(sample):
@@ -442,14 +519,22 @@ class SchemeContext:
         schedules no events, so the kernel terminates naturally once all
         device activity is over.
         """
+        obs = self.obs
         while True:
             request = yield from self.hub.irq.wait()
+            if obs.enabled:
+                t0 = self.hub.sim.now
             yield from service_interrupt(self.hub)
+            if obs.enabled:
+                t1 = self.hub.sim.now
+                obs.span("irq", f"service:{request.vector}", t0, t1)
             if request.vector == "sample":
                 stream, window_index, k, sample = request.payload
                 yield from cpu_transfer(
                     self.hub, stream.sample_bytes, 1, bulk=False
                 )
+                if obs.enabled:
+                    obs.span("transfer", "cpu:sample", t1, self.hub.sim.now)
                 for app in stream.subscribers:
                     if k % stream.stride(app) != 0:
                         continue  # decimated subscriber skips this sample
@@ -461,6 +546,8 @@ class SchemeContext:
                 yield from cpu_transfer(
                     self.hub, nbytes, max(1, count), bulk=True
                 )
+                if obs.enabled:
+                    obs.span("transfer", "cpu:batch", t1, self.hub.sim.now)
                 if final:
                     state = self.window_state(app, window_index)
                     if not state.complete:
@@ -473,6 +560,8 @@ class SchemeContext:
                 yield from cpu_transfer(
                     self.hub, app.profile.output_bytes, 1, bulk=False
                 )
+                if obs.enabled:
+                    obs.span("transfer", "cpu:result", t1, self.hub.sim.now)
                 self.record_result(app, result)
                 yield from self.hub.nic.send(
                     app.profile.output_bytes, Routine.APP_COMPUTE
@@ -484,6 +573,7 @@ class SchemeContext:
 
     def cpu_compute_process(self, app: IoTApp):
         """Window computation on the CPU (baseline/batching/beam)."""
+        obs = self.obs
         for window_index in range(self.scenario.windows):
             state = self.window_state(app, window_index)
             if not state.delivered:
@@ -491,6 +581,8 @@ class SchemeContext:
             if self.hub.cpu.asleep:
                 yield from self.hub.cpu.wake(Routine.APP_COMPUTE)
             yield from self.hub.cpu.core.acquire()
+            if obs.enabled:
+                t0 = self.hub.sim.now
             result = app.compute(state.window)
             yield from self.hub.cpu.execute(
                 app.profile.cpu_compute_time_s(self.cal),
@@ -498,6 +590,8 @@ class SchemeContext:
                 instructions=app.profile.instructions,
             )
             self.hub.cpu.core.release()
+            if obs.enabled:
+                obs.span("compute", f"cpu:{app.name}", t0, self.hub.sim.now)
             self.record_result(app, result)
             yield from self.hub.nic.send(
                 app.profile.output_bytes, Routine.APP_COMPUTE
@@ -508,6 +602,7 @@ class SchemeContext:
     # measurement
     # ------------------------------------------------------------------
     def collect(self, end_time: float) -> RunResult:
+        """Integrate energy and assemble the scenario's :class:`RunResult`."""
         from ...energy.meter import PowerMonitor
 
         monitor = PowerMonitor(self.hub.recorder, self.cal.idle_hub_power_w)
@@ -562,10 +657,19 @@ class SchemeExecutor:
         raise NotImplementedError
 
 
-def execute_scenario(scenario) -> RunResult:
-    """Run one scenario under its registered scheme; returns the result."""
+def execute_scenario(
+    scenario, obs: Optional[NullRecorder] = None
+) -> RunResult:
+    """Run one scenario under its registered scheme; returns the result.
+
+    ``obs`` attaches an instrumentation recorder (``repro profile`` passes
+    a :class:`~repro.obs.recorder.TraceRecorder`); it observes the run but
+    never alters it — results are bit-identical with or without it.
+    """
     executor = get_scheme(scenario.scheme)()
-    ctx = SchemeContext(scenario, cpu_starts_awake=executor.cpu_starts_awake)
+    ctx = SchemeContext(
+        scenario, cpu_starts_awake=executor.cpu_starts_awake, obs=obs
+    )
     executor.build(ctx)
     if executor.mcu_owns_sensing:
         # The MCU board is awake whenever it owns the sensing; under

@@ -40,4 +40,5 @@ class BaselineScheme(SchemeExecutor):
     cpu_starts_awake = True
 
     def build(self, ctx: SchemeContext) -> None:
+        """One interrupting stream per (app, sensor) pair — no sharing."""
         spawn_interrupting(ctx, shared=False)

@@ -80,4 +80,5 @@ class BatchingScheme(SchemeExecutor):
     """Buffer samples in MCU RAM; one interrupt and bulk transfer per window."""
 
     def build(self, ctx: SchemeContext) -> None:
+        """Every app gets MCU-buffered sensing; none are offloaded."""
         spawn_buffered(ctx, com_apps=[], batch_apps=list(ctx.scenario.apps))

@@ -16,6 +16,7 @@ class BcomScheme(SchemeExecutor):
     """Offload what fits the MCU under COM; batch the heavy remainder."""
 
     def build(self, ctx: SchemeContext) -> None:
+        """Partition apps: offloadable ones to COM, the rest to batching."""
         com_apps: List[IoTApp] = []
         batch_apps: List[IoTApp] = []
         candidates: List[IoTApp] = []

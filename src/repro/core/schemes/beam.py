@@ -14,4 +14,5 @@ class BeamScheme(SchemeExecutor):
     cpu_starts_awake = True
 
     def build(self, ctx: SchemeContext) -> None:
+        """Like baseline, but apps share one stream per sensor."""
         spawn_interrupting(ctx, shared=True)

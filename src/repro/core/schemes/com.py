@@ -14,6 +14,7 @@ class ComScheme(SchemeExecutor):
     """Run every app's computation on the MCU; ship only the result."""
 
     def build(self, ctx: SchemeContext) -> None:
+        """Offload every app that passes the capability check."""
         for app in ctx.scenario.apps:
             report = check_offloadable(app, ctx.cal)
             ctx.offload_reports[app.name] = report

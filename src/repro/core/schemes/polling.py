@@ -15,6 +15,7 @@ class PollingScheme(SchemeExecutor):
     mcu_owns_sensing = False
 
     def build(self, ctx: SchemeContext) -> None:
+        """CPU-driven polling with a rest governor between samples."""
         apps = ctx.scenario.apps
         streams = ctx.streams_for(apps, shared=False)
         ctx.policy = CpuRestPolicy(

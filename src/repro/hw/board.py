@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..calibration import Calibration, default_calibration
+from ..obs.recorder import NullRecorder
 from ..sim.kernel import Simulator
 from ..sim.trace import TimelineRecorder
 from .bus import NetworkInterface, PioBus
@@ -35,9 +36,10 @@ class IoTHub:
         calibration: Optional[Calibration] = None,
         cpu_initial_state: str = CpuState.DEEP_SLEEP,
         mcu_initial_state: str = McuState.SLEEP,
+        obs: Optional[NullRecorder] = None,
     ):
         self.calibration = calibration or default_calibration()
-        self.sim = Simulator()
+        self.sim = Simulator(obs=obs)
         self.recorder = TimelineRecorder()
         self.cpu = Cpu(
             self.sim, self.recorder, self.calibration.cpu, cpu_initial_state
@@ -87,6 +89,11 @@ class IoTHub:
     def component(self, name: str) -> PowerStateMachine:
         """Look up an extra component by name."""
         return self._extra_components[name]
+
+    @property
+    def obs(self) -> NullRecorder:
+        """The instrumentation recorder shared with the kernel."""
+        return self.sim.obs
 
     @property
     def idle_power_w(self) -> float:

@@ -1,0 +1,49 @@
+"""Observability: span/counter instrumentation for the simulator itself.
+
+The paper's method is a visibility argument — oprofile plus a 100 ns
+Monsoon monitor showing *who is awake and why*.  This package gives the
+reproduction the same visibility into its own machinery: the kernel, the
+scheme executors and the :class:`~repro.core.engine.ScenarioEngine` emit
+spans and counters through a :class:`Recorder`, and the exporters render
+them as a text summary, JSONL, or a Chrome ``trace_event`` file that
+``chrome://tracing`` / Perfetto can open.
+
+Two invariants hold (see ``docs/observability.md``):
+
+* **Zero-cost when off** — the default :data:`NULL_RECORDER` is a no-op
+  whose methods allocate nothing; every hot-path call site guards on
+  ``recorder.enabled`` so an uninstrumented run does no extra work and
+  golden energy results are bit-identical either way.
+* **Deterministic content** — simulation-side spans carry *virtual*
+  timestamps only; wall-clock measurements (engine throughput, worker
+  times) live on a separate ``wall`` track and in
+  :class:`EngineMetrics`, so exports of the ``sim`` track are
+  reproducible byte for byte.
+"""
+
+from .export import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace_events,
+    read_jsonl,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import EngineMetrics, Metrics, SpanStat
+from .recorder import NULL_RECORDER, NullRecorder, Span, TraceRecorder
+
+__all__ = [
+    "EngineMetrics",
+    "Metrics",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Span",
+    "SpanStat",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "chrome_trace_events",
+    "read_jsonl",
+    "render_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,135 @@
+"""Recorders: the no-op default and the collecting trace recorder.
+
+Instrumented code never branches on recorder *type*; it checks the
+``enabled`` flag and only then pays for timestamps, f-string labels and
+the recording call::
+
+    obs = self.obs
+    if obs.enabled:
+        t0 = sim.now
+    value = yield from do_work()
+    if obs.enabled:
+        obs.span("sense", key, t0, sim.now)
+
+With the default :data:`NULL_RECORDER` that is one attribute read and a
+branch — no allocation, no call.  The no-op methods still exist (and
+allocate nothing) so un-guarded cold-path calls are also safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple
+
+#: Track for spans stamped with the kernel's virtual clock (deterministic).
+SIM_TRACK = "sim"
+#: Track for spans stamped with the host wall clock (informational only).
+WALL_TRACK = "wall"
+
+
+class Span(NamedTuple):
+    """One completed operation: category, label and a closed time range.
+
+    ``track`` says which clock stamped the range: :data:`SIM_TRACK`
+    spans use virtual seconds and are deterministic; :data:`WALL_TRACK`
+    spans use host seconds and are excluded from deterministic exports.
+    (A NamedTuple, not a dataclass: thousands are created per run and
+    tuple construction is measurably cheaper.)
+    """
+
+    cat: str
+    name: str
+    t0_s: float
+    t1_s: float
+    track: str = SIM_TRACK
+
+    @property
+    def duration_s(self) -> float:
+        """Span length in seconds (of whichever clock stamped it)."""
+        return self.t1_s - self.t0_s
+
+
+class NullRecorder:
+    """The do-nothing recorder: default everywhere, zero-cost on hot paths.
+
+    Also serves as the recorder interface: :class:`TraceRecorder`
+    subclasses it and overrides every hook.  ``enabled`` is a class
+    attribute so the hot-path guard is a plain attribute load.
+    """
+
+    __slots__ = ()
+
+    #: Hot paths check this before building labels or reading clocks.
+    enabled = False
+
+    def span(
+        self,
+        cat: str,
+        name: str,
+        t0_s: float,
+        t1_s: float,
+        track: str = SIM_TRACK,
+    ) -> None:
+        """Record a completed span (no-op)."""
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to a named counter (no-op)."""
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise a named high-water-mark gauge to ``value`` (no-op)."""
+
+
+#: Shared no-op instance; the default for every instrumented component.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(NullRecorder):
+    """Collects spans, counters and high-water gauges in memory.
+
+    Append-only and single-threaded by construction (the simulator is
+    single-threaded); aggregate views come from
+    :meth:`repro.obs.metrics.Metrics.from_recorder`.
+
+    Spans are stored as plain tuples and wrapped into :class:`Span`
+    only when read: ``Span.__new__`` costs ~7x a bare tuple append, and
+    the hot path runs once per sensor sample while :attr:`spans` is
+    read a handful of times per run, after the simulation finishes.
+    """
+
+    __slots__ = ("_spans", "counters", "gauges")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._spans: List[tuple] = []
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+
+    def span(
+        self,
+        cat: str,
+        name: str,
+        t0_s: float,
+        t1_s: float,
+        track: str = SIM_TRACK,
+    ) -> None:
+        """Append one completed span."""
+        self._spans.append((cat, name, t0_s, t1_s, track))
+
+    @property
+    def spans(self) -> List[Span]:
+        """Recorded spans in append order (materialized on each read)."""
+        return [Span._make(raw) for raw in self._spans]
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the named counter (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Keep the maximum ever reported for the named gauge."""
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def sim_spans(self) -> List[Span]:
+        """Only the deterministic virtual-time spans."""
+        return [span for span in self.spans if span.track == SIM_TRACK]

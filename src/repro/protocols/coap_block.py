@@ -59,6 +59,7 @@ class BlockwiseServer(CoapServer):
         self.block_size = block_size
 
     def handle(self, request_bytes: bytes) -> bytes:
+        """Serve one GET, slicing the resource per the Block2 option."""
         request = decode_message(request_bytes)
         self.request_count += 1
         if request.code != CoapCode.GET:

@@ -47,6 +47,7 @@ class WalkingWaveform(Waveform):
         return int(self.cadence_hz * duration_s)
 
     def sample(self, time: float) -> np.ndarray:
+        """3-axis acceleration: gravity plus gait impacts and sway."""
         noise = self.noise_amplitude * pseudo_noise(time, self.seed)
         if not self.walking:
             return np.array([noise, noise * 0.5, GRAVITY + noise])
@@ -89,6 +90,7 @@ class SeismicWaveform(Waveform):
         return self.quake_start_s is not None
 
     def sample(self, time: float) -> np.ndarray:
+        """3-axis acceleration: background noise plus the quake ramp."""
         noise = self.background_amplitude * pseudo_noise(time, self.seed)
         shake = 0.0
         if self.has_quake:

@@ -103,4 +103,5 @@ class CameraWaveform(Waveform):
         return encode_frame(scene, frame_id)
 
     def sample(self, time: float) -> np.ndarray:
+        """Scalar view for the sampling pipeline: the current frame id."""
         return np.array([float(self.frame_id_at(time))])

@@ -55,4 +55,5 @@ class FingerprintWaveform(Waveform):
         return scan_of(self.person_at(time), scan_seed=int(time))
 
     def sample(self, time: float) -> np.ndarray:
+        """Scalar view for the sampling pipeline: the current person id."""
         return np.array([float(self.person_at(time))])

@@ -50,6 +50,7 @@ class EcgWaveform(Waveform):
         return times[times < duration_s]
 
     def sample(self, time: float) -> np.ndarray:
+        """ECG amplitude: Gaussian QRS pulses centered on each beat."""
         # Find the nearest beats around `time` (at most two can contribute).
         base_index = int(time / self.period_s)
         value = 0.0

@@ -36,6 +36,7 @@ class AmbientSoundWaveform(Waveform):
         self.seed = seed
 
     def sample(self, time: float) -> np.ndarray:
+        """Sound level: scaled noise with a periodic short bump."""
         noise = self.level * pseudo_noise(time, self.seed)
         bump_phase = (time % self.bump_period_s) / self.bump_period_s
         bump = 0.5 * self.level if bump_phase < 0.05 else 0.0
@@ -83,6 +84,7 @@ class SpokenWordWaveform(Waveform):
         return self.words[slot], offset / self.word_duration_s
 
     def sample(self, time: float) -> np.ndarray:
+        """Audio amplitude: formant sweep of the current word, or noise."""
         noise = self.noise_amplitude * pseudo_noise(time, self.seed)
         uttered = self.word_at(time)
         if uttered is None:

@@ -96,16 +96,16 @@ def _spec(
 TABLE_I: Dict[str, SensorSpec] = {
     spec.sensor_id: spec
     for spec in (
-        _spec("S1", "Barometer", "SPI", 37.5, (2.12, 19.47, 28.93), "double", 8, 157.0, 10.0),
-        _spec("S2", "Temperature", "I2C", 18.75, (1.0, 13.5, 20.0), "double", 8, 120.0, 10.0),
-        _spec("S3", "Fingerprint", "TTL-serial", 850.0, (432.0, 600.0, 900.0), "signature", 512, None, None),
-        _spec("S4", "Accelerometer", "Analog", 0.5, (0.63, 1.3, 1.75), "int3", 12, 1e6, 1000.0),
-        _spec("S5", "AirQuality", "I2C", 0.96, (1.2, 30.0, 46.0), "int", 4, 400.0, 200.0),
+        _spec("S1", "Barometer", "SPI", 37.5, (2.12, 19.47, 28.93), "double", 8, 157.0, 10.0),  # noqa: E501
+        _spec("S2", "Temperature", "I2C", 18.75, (1.0, 13.5, 20.0), "double", 8, 120.0, 10.0),  # noqa: E501
+        _spec("S3", "Fingerprint", "TTL-serial", 850.0, (432.0, 600.0, 900.0), "signature", 512, None, None),  # noqa: E501
+        _spec("S4", "Accelerometer", "Analog", 0.5, (0.63, 1.3, 1.75), "int3", 12, 1e6, 1000.0),  # noqa: E501
+        _spec("S5", "AirQuality", "I2C", 0.96, (1.2, 30.0, 46.0), "int", 4, 400.0, 200.0),  # noqa: E501
         _spec("S6", "Pulse", "Analog", 0.1, (9.9, 15.0, 22.0), "int", 4, 1e6, 1000.0),
         _spec("S7", "Light", "I2C", 0.1, (16.8, 21.0, 25.2), "double", 8, 4e5, 1000.0),
         _spec("S8", "Sound", "Analog", 0.1, (16.0, 40.0, 96.0), "int", 4, 1e6, 1000.0),
-        _spec("S9", "Distance", "Analog", 0.2, (120.0, 150.0, 175.0), "double", 8, 5000.0, 1000.0),
-        _spec("S10", "LowResImage", "TTL-serial", 183.64, (30.0, 125.0, 140.0), "rgb", 24_384, None, None),
+        _spec("S9", "Distance", "Analog", 0.2, (120.0, 150.0, 175.0), "double", 8, 5000.0, 1000.0),  # noqa: E501
+        _spec("S10", "LowResImage", "TTL-serial", 183.64, (30.0, 125.0, 140.0), "rgb", 24_384, None, None),  # noqa: E501
         _spec(
             "S10H",
             "HighResImage",

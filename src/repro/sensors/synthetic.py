@@ -51,6 +51,7 @@ class ConstantWaveform(Waveform):
         self.value = value
 
     def sample(self, time: float) -> np.ndarray:
+        """The same fixed value, whatever the time."""
         return np.array([self.value])
 
 
@@ -78,6 +79,7 @@ class SlowDriftWaveform(Waveform):
         self.seed = seed
 
     def sample(self, time: float) -> np.ndarray:
+        """Base value plus sinusoidal drift plus small noise."""
         drift = self.drift_amplitude * np.sin(
             2 * np.pi * time / self.drift_period_s
         )

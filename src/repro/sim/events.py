@@ -71,3 +71,21 @@ class EventQueue:
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
         return self._heap[0].time if self._heap else None
+
+    @property
+    def depth(self) -> int:
+        """Raw heap size, cancelled entries included (an O(1) read).
+
+        This is the instrumentation view — the memory the queue actually
+        holds — as opposed to ``len()``, which counts live events in
+        O(n).
+        """
+        return len(self._heap)
+
+    def raw_heap(self) -> List[Event]:
+        """The live heap list, for read-only instrumentation.
+
+        The kernel's run loop samples ``len()`` of this on every event;
+        handing out the list once avoids a property call per event.
+        """
+        return self._heap

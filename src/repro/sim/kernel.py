@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from ..errors import SchedulingError, SimulationError
+from ..obs.recorder import NULL_RECORDER, NullRecorder
 from .events import Event, EventQueue
 from .process import Process
 
@@ -23,13 +24,19 @@ class Simulator:
 
         sim.spawn(blinker())
         sim.run(until=10.0)
+
+    Pass ``obs=TraceRecorder()`` to collect kernel metrics (events
+    dispatched, heap depth, per-process signal waits); the default
+    :data:`~repro.obs.recorder.NULL_RECORDER` makes every hook a no-op.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, obs: Optional[NullRecorder] = None) -> None:
         self._now = 0.0
         self._queue = EventQueue()
         self._running = False
         self._processes: list[Process] = []
+        #: Instrumentation sink shared by the kernel and its processes.
+        self.obs = obs if obs is not None else NULL_RECORDER
 
     @property
     def now(self) -> float:
@@ -90,6 +97,11 @@ class Simulator:
         if self._running:
             raise SimulationError("run() called re-entrantly")
         self._running = True
+        obs = self.obs
+        observing = obs.enabled
+        started_at = self._now
+        max_depth = 0
+        heap = self._queue.raw_heap()
         try:
             executed = 0
             while True:
@@ -99,6 +111,10 @@ class Simulator:
                 if until is not None and next_time > until:
                     self._now = until
                     break
+                if observing:
+                    depth = len(heap)
+                    if depth > max_depth:
+                        max_depth = depth
                 self.step()
                 executed += 1
                 if executed > max_events:
@@ -107,4 +123,8 @@ class Simulator:
                     )
         finally:
             self._running = False
+            if observing:
+                obs.count("sim.events", executed)
+                obs.gauge_max("sim.heap_depth", max_depth)
+                obs.span("kernel", "run", started_at, self._now)
         return self._now

@@ -49,9 +49,11 @@ class Signal:
         self.fire_count = 0
 
     def add_waiter(self, process: "Process") -> None:
+        """Enqueue a process to be woken by the next :meth:`fire`."""
         self._waiters.append(process)
 
     def remove_waiter(self, process: "Process") -> None:
+        """Forget a queued waiter (no-op if it is not waiting here)."""
         if process in self._waiters:
             self._waiters.remove(process)
 
@@ -105,6 +107,8 @@ class Process:
         self.finish_time: Optional[float] = None
         self._completion = Signal(f"{self.name}.done")
         self._waiting_on: Optional[Signal] = None
+        #: Counter label cached so waits don't rebuild the f-string.
+        self._wait_label: Optional[str] = None
 
     def start(self) -> None:
         """Schedule the first step of the generator at the current time."""
@@ -129,6 +133,12 @@ class Process:
         if isinstance(command, Delay):
             self.sim.schedule(command.duration, lambda: self._advance(None))
         elif isinstance(command, Wait):
+            obs = self.sim.obs
+            if obs.enabled:
+                label = self._wait_label
+                if label is None:
+                    label = self._wait_label = f"sim.wait.{self.name}"
+                obs.count(label)
             self._waiting_on = command.signal
             command.signal.add_waiter(self)
         elif isinstance(command, Join):

@@ -51,6 +51,11 @@ def to_ms(seconds: float) -> float:
     return seconds / MILLISECOND
 
 
+def to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds / MICROSECOND
+
+
 def mw(value: float) -> float:
     """Convert milliwatts to watts."""
     return value * MILLIWATT

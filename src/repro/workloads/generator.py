@@ -25,6 +25,7 @@ class SyntheticApp(IoTApp):
         self.windows_computed = 0
 
     def compute(self, window: SampleWindow) -> AppResult:
+        """Reduce every subscribed stream to min/mean/max statistics."""
         stats: Dict[str, Dict[str, float]] = {}
         for sensor_id in self.profile.sensor_ids:
             series = window.scalar_series(sensor_id)

@@ -204,9 +204,10 @@ class TestRepoIsClean:
             ),
             "err": ("raise RuntimeError('x')\n", "src/repro/any.py"),
             "scheme": (
-                "def helper():\n    return 1\n",
+                'def helper():\n    """Doc."""\n    return 1\n',
                 "src/repro/core/schemes/any.py",
             ),
+            "docs": ("def helper():\n    return 1\n", "src/repro/any.py"),
         }
         for family, (source, path) in injected.items():
             findings = lint_source(source, path)

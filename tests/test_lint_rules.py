@@ -220,9 +220,12 @@ from .registry import register_scheme
 
 @register_scheme("myscheme")
 class MyScheme(SchemeExecutor):
+    \"\"\"A well-behaved plugin.\"\"\"
+
     cpu_starts_awake = True
 
     def build(self, ctx):
+        \"\"\"Configure the context.\"\"\"
         ctx.policy = make_policy()
         ctx.allow_deep = False
         ctx.total_irqs = 7
@@ -235,7 +238,7 @@ class TestSchemeContract:
         assert rule_ids(GOOD_SCHEME, path=SCHEME_PATH) == []
 
     def test_module_without_registration_is_flagged(self):
-        src = "def helper():\n    return 1"
+        src = "def helper():\n    \"\"\"Docstring.\"\"\"\n    return 1"
         assert rule_ids(src, path=SCHEME_PATH) == ["scheme-one-per-module"]
 
     def test_second_registration_is_flagged(self):
@@ -261,6 +264,8 @@ class TestSchemeContract:
         src = """
         @register_scheme("shared")
         class Shared(BaselineScheme):
+            \"\"\"Inherits build() from baseline.\"\"\"
+
             cpu_starts_awake = False
         """
         assert rule_ids(src, path=SCHEME_PATH) == []
@@ -284,6 +289,7 @@ class TestSchemeContract:
         src = GOOD_SCHEME + textwrap.dedent(
             """
             def sneaky(ctx):
+                \"\"\"Rebinds shared state (bad).\"\"\"
                 ctx.hub = None
             """
         )
@@ -292,11 +298,95 @@ class TestSchemeContract:
         assert "ctx.hub" in findings[0].message
 
     def test_plumbing_modules_are_exempt(self):
-        src = "def helper():\n    return 1"
+        src = "def helper():\n    \"\"\"Docstring.\"\"\"\n    return 1"
         for name in ("base.py", "registry.py", "__init__.py"):
             path = f"src/repro/core/schemes/{name}"
             assert rule_ids(src, path=path) == []
 
     def test_not_scoped_outside_schemes(self):
-        src = "def helper():\n    return 1"
+        src = "def helper():\n    \"\"\"Docstring.\"\"\"\n    return 1"
         assert rule_ids(src, path=NEUTRAL_PATH) == []
+
+
+# ----------------------------------------------------------------------
+# docs (scoped to anything under a repro/ directory)
+# ----------------------------------------------------------------------
+class TestDocsMissingDocstring:
+    def test_flags_public_function_without_docstring(self):
+        findings = lint_source("def helper():\n    return 1", NEUTRAL_PATH)
+        assert [f.rule_id for f in findings] == ["docs-missing-docstring"]
+        assert "'helper'" in findings[0].message
+
+    def test_flags_public_class_and_method(self):
+        src = """
+        class Widget:
+            def spin(self):
+                return 1
+        """
+        findings = lint_source(textwrap.dedent(src), NEUTRAL_PATH)
+        messages = [f.message for f in findings]
+        assert len(findings) == 2
+        assert any("class 'Widget'" in m for m in messages)
+        assert any("'Widget.spin'" in m for m in messages)
+
+    def test_documented_code_passes(self):
+        src = '''
+        class Widget:
+            """A documented class."""
+
+            def spin(self):
+                """A documented method."""
+                return 1
+
+
+        def helper():
+            """A documented function."""
+            return 1
+        '''
+        assert rule_ids(src) == []
+
+    def test_private_names_are_exempt(self):
+        src = """
+        def _internal():
+            return 1
+
+
+        class _Hidden:
+            def also_hidden(self):
+                return 1
+        """
+        assert rule_ids(src) == []
+
+    def test_property_setter_is_exempt(self):
+        src = '''
+        class Widget:
+            """Documented."""
+
+            @property
+            def size(self):
+                """The getter carries the doc."""
+                return self._size
+
+            @size.setter
+            def size(self, value):
+                self._size = value
+        '''
+        assert rule_ids(src) == []
+
+    def test_nested_functions_are_exempt(self):
+        src = '''
+        def outer():
+            """Documented."""
+            def inner():
+                return 1
+            return inner
+        '''
+        assert rule_ids(src) == []
+
+    def test_suppression_comment_is_honored(self):
+        src = "def helper():  # repro-lint: disable=docs-missing-docstring\n"
+        src += "    return 1"
+        assert rule_ids(src) == []
+
+    def test_not_scoped_outside_repro(self):
+        assert rule_ids("def helper():\n    return 1", path="tools/x.py") == []

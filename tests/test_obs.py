@@ -1,0 +1,369 @@
+"""Observability layer: recorders, exporters, metrics and the CLI.
+
+The two load-bearing invariants from ``docs/observability.md``:
+
+* zero-cost-when-off — the default :class:`NullRecorder` allocates
+  nothing on the hot path, and attaching a :class:`TraceRecorder` does
+  not change a single simulated number (golden parity);
+* deterministic content — the JSONL and Chrome exports contain only
+  virtual-time quantities, so the same scenario always produces the
+  same bytes.
+"""
+
+import io
+import json
+import tracemalloc
+
+import pytest
+
+from repro.core import Scenario, ScenarioEngine
+from repro.core.schemes.base import execute_scenario
+from repro.obs import (
+    Metrics,
+    NULL_RECORDER,
+    NullRecorder,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    chrome_trace_events,
+    read_jsonl,
+    render_summary,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.export import TraceFormatError
+from repro.obs.metrics import EngineMetrics
+from repro.obs.recorder import SIM_TRACK, WALL_TRACK
+from repro.units import ms
+
+
+def small_scenario(scheme="batching", apps=("A2",), windows=1):
+    """One cheap, deterministic scenario for exporter tests."""
+    return Scenario.of(list(apps), scheme=scheme, windows=windows)
+
+
+def recorded_run(scheme="batching", apps=("A2",), windows=1):
+    """Run a small scenario with a TraceRecorder attached."""
+    recorder = TraceRecorder()
+    result = execute_scenario(small_scenario(scheme, apps, windows), obs=recorder)
+    return recorder, result
+
+
+# ----------------------------------------------------------------------
+# recorder basics
+# ----------------------------------------------------------------------
+class TestRecorders:
+    def test_null_recorder_is_disabled_and_silent(self):
+        assert NullRecorder.enabled is False
+        assert NULL_RECORDER.span("cat", "name", 0.0, 1.0) is None
+        assert NULL_RECORDER.count("x") is None
+        assert NULL_RECORDER.gauge_max("x", 3.0) is None
+
+    def test_null_recorder_hot_path_allocates_nothing(self):
+        obs = NULL_RECORDER
+        # Warm up so the guard itself isn't charged for byte-code caches.
+        for _ in range(3):
+            if obs.enabled:
+                obs.count("sim.events")
+        tracemalloc.start()
+        before = tracemalloc.take_snapshot()
+        for _ in range(10_000):
+            if obs.enabled:
+                obs.count("sim.events")
+                obs.span("cat", "name", 0.0, 1.0)
+        after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        # Nothing may be charged to the recorder module itself; the test
+        # harness is allowed its own bookkeeping allocations.
+        grown = [
+            stat
+            for stat in after.compare_to(before, "filename")
+            if stat.size_diff > 0
+            and stat.traceback[0].filename.endswith("recorder.py")
+        ]
+        assert grown == []
+
+    def test_trace_recorder_collects(self):
+        recorder = TraceRecorder()
+        assert recorder.enabled is True
+        recorder.span("sense", "s1", 0.0, ms(2.0))
+        recorder.span("engine", "run", 0.0, 1.0, track=WALL_TRACK)
+        recorder.count("sim.events", 3)
+        recorder.count("sim.events")
+        recorder.gauge_max("depth", 2)
+        recorder.gauge_max("depth", 7)
+        recorder.gauge_max("depth", 4)
+        assert recorder.counters == {"sim.events": 4}
+        assert recorder.gauges == {"depth": 7}
+        assert [span.track for span in recorder.spans] == [
+            SIM_TRACK,
+            WALL_TRACK,
+        ]
+        assert [span.cat for span in recorder.sim_spans()] == ["sense"]
+
+    def test_metrics_aggregation(self):
+        recorder = TraceRecorder()
+        recorder.span("sense", "s1", 0.0, 1.0)
+        recorder.span("sense", "s1", 1.0, 3.0)
+        recorder.span("sense", "s2", 0.0, 4.0)
+        recorder.span("engine", "run", 0.0, 100.0, track=WALL_TRACK)
+        metrics = Metrics.from_recorder(recorder)
+        assert metrics.by_name[("sense", "s1")].count == 2
+        assert metrics.by_name[("sense", "s1")].total_s == pytest.approx(3.0)
+        assert metrics.by_name[("sense", "s1")].mean_s == pytest.approx(1.5)
+        assert metrics.by_cat["sense"].count == 3
+        assert metrics.by_cat["sense"].total_s == pytest.approx(7.0)
+        # The wall track stays out of sim aggregates.
+        assert "engine" not in metrics.by_cat
+        snapshot = metrics.snapshot()
+        assert snapshot["spans"]["sense"]["by_name"]["s2"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# instrumented simulation
+# ----------------------------------------------------------------------
+class TestInstrumentedRun:
+    def test_sim_counters_and_spans_are_populated(self):
+        recorder, result = recorded_run()
+        assert result.energy.total_j > 0
+        assert recorder.counters["sim.events"] > 0
+        assert recorder.gauges["sim.heap_depth"] >= 1
+        cats = {span.cat for span in recorder.sim_spans()}
+        assert "kernel" in cats
+        assert "sense" in cats
+
+    def test_bcom_multi_app_covers_the_span_taxonomy(self):
+        recorder, _ = recorded_run(scheme="bcom", apps=("A2", "A4"))
+        cats = {span.cat for span in recorder.sim_spans()}
+        assert {"sense", "irq", "transfer", "compute", "kernel"} <= cats
+
+    @pytest.mark.parametrize(
+        "scheme", ["baseline", "batching", "com", "bcom"]
+    )
+    def test_golden_parity_with_observability_on_and_off(self, scheme):
+        plain = execute_scenario(small_scenario(scheme, ("A2", "A4")))
+        recorder = TraceRecorder()
+        observed = execute_scenario(
+            small_scenario(scheme, ("A2", "A4")), obs=recorder
+        )
+        # Bit-identical, not approximately equal: the instrumentation
+        # must never perturb the simulation.
+        assert observed.energy.total_j == plain.energy.total_j
+        assert observed.duration_s == plain.duration_s
+        assert observed.interrupt_count == plain.interrupt_count
+        assert observed.cpu_wake_count == plain.cpu_wake_count
+        assert observed.bus_bytes == plain.bus_bytes
+        assert observed.busy_times == plain.busy_times
+        assert recorder.counters["sim.events"] > 0
+
+    def test_recorder_content_is_deterministic_across_runs(self):
+        first, _ = recorded_run(scheme="bcom", apps=("A2", "A4"))
+        second, _ = recorded_run(scheme="bcom", apps=("A2", "A4"))
+        assert first.spans == second.spans
+        assert first.counters == second.counters
+        assert first.gauges == second.gauges
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+class TestJsonlExport:
+    def test_round_trip_preserves_everything(self):
+        recorder, _ = recorded_run()
+        buffer = io.StringIO()
+        written = write_jsonl(recorder, buffer)
+        lines = buffer.getvalue().splitlines()
+        assert written == len(lines)
+        assert json.loads(lines[0]) == {
+            "type": "header",
+            "version": TRACE_SCHEMA_VERSION,
+        }
+        loaded = read_jsonl(lines)
+        assert loaded.counters == recorder.counters
+        assert loaded.gauges == recorder.gauges
+        assert len(loaded.spans) == len(recorder.spans)
+        for original, restored in zip(recorder.spans, loaded.spans):
+            assert restored.cat == original.cat
+            assert restored.name == original.name
+            assert restored.track == original.track
+            assert restored.t0_s == pytest.approx(original.t0_s, abs=1e-12)
+            assert restored.t1_s == pytest.approx(original.t1_s, abs=1e-12)
+
+    def test_identical_runs_export_identical_bytes(self):
+        first, second = io.StringIO(), io.StringIO()
+        write_jsonl(recorded_run()[0], first)
+        write_jsonl(recorded_run()[0], second)
+        assert first.getvalue() == second.getvalue()
+
+    def test_missing_header_is_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_jsonl(['{"type": "span"}'])
+        with pytest.raises(TraceFormatError):
+            read_jsonl([])
+
+    def test_wrong_version_is_rejected(self):
+        with pytest.raises(TraceFormatError):
+            read_jsonl(['{"type": "header", "version": 999}'])
+
+    def test_garbage_line_is_rejected(self):
+        header = json.dumps(
+            {"type": "header", "version": TRACE_SCHEMA_VERSION}
+        )
+        with pytest.raises(TraceFormatError):
+            read_jsonl([header, "not json"])
+        with pytest.raises(TraceFormatError):
+            read_jsonl([header, '{"type": "mystery"}'])
+        with pytest.raises(TraceFormatError):
+            read_jsonl([header, '{"type": "span", "cat": "only"}'])
+
+
+class TestChromeExport:
+    def test_events_follow_the_trace_event_schema(self):
+        recorder, _ = recorded_run(scheme="bcom", apps=("A2", "A4"))
+        events = chrome_trace_events(recorder)
+        metadata = [e for e in events if e["ph"] == "M"]
+        timed = [e for e in events if e["ph"] == "X"]
+        assert len(timed) == len(recorder.sim_spans())
+        names = {e["name"] for e in metadata}
+        assert "process_name" in names and "thread_name" in names
+        # One tid lane per category, consistently assigned.
+        lanes = {
+            e["args"]["name"]: e["tid"]
+            for e in metadata
+            if e["name"] == "thread_name"
+        }
+        for event in timed:
+            assert event["tid"] == lanes[event["cat"]]
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 0
+        # Sorted by timestamp for viewer friendliness.
+        stamps = [e["ts"] for e in timed]
+        assert stamps == sorted(stamps)
+
+    def test_written_document_is_valid_json(self):
+        recorder, _ = recorded_run()
+        buffer = io.StringIO()
+        count = write_chrome_trace(recorder, buffer)
+        document = json.loads(buffer.getvalue())
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == count
+
+    def test_wall_spans_never_reach_the_chrome_trace(self):
+        recorder = TraceRecorder()
+        recorder.span("sense", "s1", 0.0, 1.0)
+        recorder.span("engine", "run", 0.0, 9.0, track=WALL_TRACK)
+        events = chrome_trace_events(recorder)
+        assert all(e.get("cat") != "engine" for e in events)
+
+
+class TestSummaryExport:
+    def test_summary_mentions_counters_gauges_and_spans(self):
+        recorder, _ = recorded_run()
+        text = render_summary(recorder)
+        assert "sim.events" in text
+        assert "sim.heap_depth" in text
+        assert "kernel:run" in text
+
+    def test_summary_includes_engine_metrics_when_given(self):
+        recorder, _ = recorded_run()
+        engine = EngineMetrics(cache_hits=2, cache_misses=1)
+        text = render_summary(recorder, engine_metrics=engine)
+        assert "engine" in text
+        assert "2 hit(s)" in text
+
+
+# ----------------------------------------------------------------------
+# engine metrics
+# ----------------------------------------------------------------------
+class TestEngineMetrics:
+    def test_serial_run_populates_metrics(self):
+        engine = ScenarioEngine()
+        engine.run(small_scenario())
+        metrics = engine.metrics
+        assert metrics.scenarios_run == 1
+        assert metrics.run_wall_s > 0.0
+        assert metrics.scenarios_per_sec > 0.0
+        assert list(metrics.worker_wall_s) == ["w0"]
+        assert metrics.worker_wall_s["w0"] > 0.0
+
+    def test_cache_traffic_is_counted(self, tmp_path):
+        engine = ScenarioEngine(cache_dir=tmp_path)
+        engine.run(small_scenario())
+        engine.run(small_scenario())
+        assert engine.cache_misses == 1
+        assert engine.cache_hits == 1
+        assert engine.metrics.fingerprint_wall_s > 0.0
+        assert engine.metrics.scenarios_run == 1
+
+    def test_snapshot_and_summary_lines(self):
+        metrics = EngineMetrics(
+            cache_hits=1, cache_misses=2, scenarios_run=2, run_wall_s=0.5
+        )
+        metrics.note_worker("w0", 0.25)
+        metrics.note_worker("w0", 0.25)
+        snapshot = metrics.snapshot()
+        assert snapshot["scenarios_per_sec"] == pytest.approx(4.0)
+        assert snapshot["worker_wall_s"] == {"w0": 0.5}
+        lines = metrics.summary_lines()
+        assert any("1 hit(s)" in line for line in lines)
+        assert any("w0=0.500s" in line for line in lines)
+
+    def test_zero_wall_time_has_zero_rate(self):
+        assert EngineMetrics().scenarios_per_sec == 0.0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestProfileCli:
+    def run_cli(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_summary_format(self, capsys):
+        code, out = self.run_cli(
+            ["profile", "A2", "--scheme", "batching"], capsys
+        )
+        assert code == 0
+        assert "instrumentation summary" in out
+        assert "sim.events" in out
+
+    def test_jsonl_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        code, out = self.run_cli(
+            ["profile", "A2", "--format", "jsonl", "--out", str(out_path)],
+            capsys,
+        )
+        assert code == 0
+        assert "record(s)" in out
+        loaded = read_jsonl(out_path.read_text().splitlines())
+        assert loaded.counters["sim.events"] > 0
+
+    def test_chrome_to_file_is_perfetto_loadable(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        code, out = self.run_cli(
+            [
+                "profile",
+                "A2",
+                "A4",
+                "--scheme",
+                "bcom",
+                "--format",
+                "chrome",
+                "--out",
+                str(out_path),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "trace event(s)" in out
+        document = json.loads(out_path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert phases == {"M", "X"}
+
+    def test_jsonl_to_stdout(self, capsys):
+        code, out = self.run_cli(["profile", "A2", "--format", "jsonl"], capsys)
+        assert code == 0
+        assert json.loads(out.splitlines()[0])["type"] == "header"

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Check that every relative markdown link in the repo resolves.
+
+Scans tracked ``*.md`` files for inline links and flags any whose
+target does not exist on disk.  External schemes (``http``, ``https``,
+``mailto``) and pure in-page anchors (``#section``) are skipped;
+``path#anchor`` links are checked for the path part only (anchor slugs
+are viewer-specific).  Generated reference files (paper metadata,
+retrieval dumps) are excluded — their links point at sources this repo
+does not vendor.
+
+Usage::
+
+    python tools/check_md_links.py [root]
+
+Exit code 0 when every link resolves, 1 otherwise.  Pure stdlib, so CI
+can run it before installing anything.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Generated/retrieved files whose external references are not vendored.
+EXCLUDED_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+#: Directories never scanned (caches, VCS internals, virtualenvs).
+EXCLUDED_DIRS = {".git", "__pycache__", ".venv", "node_modules", ".claude"}
+
+#: Inline links: ``[text](target)`` — excludes images' leading ``!`` by
+#: matching them identically (an image path must resolve too).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: A fenced code block delimiter; links inside fences are examples.
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_markdown_files(root: Path) -> Iterator[Path]:
+    """Yield every markdown file under ``root`` worth checking."""
+    for path in sorted(root.rglob("*.md")):
+        if path.name in EXCLUDED_FILES:
+            continue
+        if any(part in EXCLUDED_DIRS for part in path.parts):
+            continue
+        yield path
+
+
+def iter_links(text: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for each inline link in ``text``."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def is_external(target: str) -> bool:
+    """True for links this checker deliberately does not verify."""
+    return target.startswith(
+        ("http://", "https://", "mailto:", "ftp://")
+    ) or target.startswith("#")
+
+
+def check_file(path: Path, root: Path) -> List[str]:
+    """Return one problem string per broken link in ``path``."""
+    problems: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for lineno, target in iter_links(text):
+        if is_external(target):
+            continue
+        # Strip any anchor; only the file half is checkable offline.
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        if file_part.startswith("/"):
+            resolved = root / file_part.lstrip("/")
+        else:
+            resolved = path.parent / file_part
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}:{lineno}: "
+                f"broken link -> {target}"
+            )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    """Entry point: scan, report, and return the exit code."""
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).parent.parent
+    root = root.resolve()
+    problems: List[str] = []
+    checked = 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        problems.extend(check_file(path, root))
+    for problem in problems:
+        print(problem)
+    print(
+        f"{checked} markdown file(s) checked: "
+        f"{len(problems)} broken link(s)"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
