@@ -49,6 +49,17 @@ def _add_run_parser(subparsers) -> None:
         default=None,
         help="memoize results on disk by scenario fingerprint",
     )
+    _add_fast_forward_flag(parser)
+
+
+def _add_fast_forward_flag(parser) -> None:
+    parser.add_argument(
+        "--fast-forward",
+        action="store_true",
+        help="skip steady-state cycles analytically (energy/duration "
+        "match full simulation at rtol 1e-9, counters exactly; "
+        "aperiodic scenarios transparently run in full)",
+    )
 
 
 def _add_compare_parser(subparsers) -> None:
@@ -74,6 +85,7 @@ def _add_compare_parser(subparsers) -> None:
         default=None,
         help="memoize results on disk by scenario fingerprint",
     )
+    _add_fast_forward_flag(parser)
 
 
 def _add_profile_parser(subparsers) -> None:
@@ -102,6 +114,7 @@ def _add_profile_parser(subparsers) -> None:
         default=None,
         help="write the export here instead of stdout",
     )
+    _add_fast_forward_flag(parser)
 
 
 def _add_lint_parser(subparsers) -> None:
@@ -192,7 +205,10 @@ def _cmd_run(args) -> int:
         windows=args.windows,
         batch_size=args.batch_size,
     )
-    result = ScenarioEngine(cache_dir=args.cache_dir).run(scenario)
+    engine = ScenarioEngine(
+        cache_dir=args.cache_dir, fast_forward=args.fast_forward
+    )
+    result = engine.run(scenario)
     print(result.summary())
     print("\nEnergy by routine:")
     for routine, share in sorted(
@@ -209,12 +225,18 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    from .core import ScenarioEngine
+
+    engine = ScenarioEngine(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        fast_forward=args.fast_forward,
+    )
     results = compare_schemes(
         args.apps,
         args.schemes,
         windows=args.windows,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
+        engine=engine,
     )
     baseline_key = args.schemes[0]
     print(
@@ -297,7 +319,9 @@ def _cmd_profile(args) -> int:
         batch_size=args.batch_size,
     )
     recorder = TraceRecorder()
-    result = execute_scenario(scenario, obs=recorder)
+    result = execute_scenario(
+        scenario, obs=recorder, fast_forward=args.fast_forward
+    )
     if args.format == "summary":
         text = result.summary() + "\n\n" + render_summary(recorder) + "\n"
         if args.out:

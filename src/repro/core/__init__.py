@@ -9,6 +9,7 @@ from ..firmware.capability import OffloadReport, check_offloadable
 from .compare import average_savings, compare_schemes, savings_table
 from .engine import ScenarioEngine, scenario_fingerprint
 from .executor import ScenarioRunner, run_apps, run_scenario
+from .fastforward import try_fast_forward
 from .results import RunResult, routine_busy_times
 from .scenario import Scenario, Scheme
 from .schemes import (
@@ -44,4 +45,5 @@ __all__ = [
     "savings_table",
     "scenario_fingerprint",
     "scheme_names",
+    "try_fast_forward",
 ]

@@ -39,7 +39,10 @@ from .schemes.base import execute_scenario
 
 #: Bump when the fingerprint payload layout changes, so stale cache
 #: entries from older library versions can never be returned.
-FINGERPRINT_VERSION = 1
+#: v2: payload gained the ``fast_forward`` flag (extrapolated results
+#: match full simulation at rtol 1e-9, not bit-identically, so the two
+#: modes must never share cache entries).
+FINGERPRINT_VERSION = 2
 
 
 def _waveform_payload(waveform: Any) -> Any:
@@ -60,16 +63,21 @@ def _waveform_payload(waveform: Any) -> Any:
     ]
 
 
-def scenario_fingerprint(scenario: Scenario) -> str:
+def scenario_fingerprint(
+    scenario: Scenario, fast_forward: bool = False
+) -> str:
     """Deterministic hex digest identifying a scenario's full behavior.
 
     Two scenarios with equal fingerprints produce bit-identical
     :class:`RunResult` metrics; anything that can change the simulation
     (scheme, apps, windows, batch size, calibration constants, waveform
-    overrides, failure injection) feeds the digest.
+    overrides, failure injection) feeds the digest — as does the
+    execution mode (``fast_forward``), whose results are equivalent but
+    not bit-identical.
     """
     payload = {
         "version": FINGERPRINT_VERSION,
+        "fast_forward": bool(fast_forward),
         "name": scenario.name,
         "scheme": scenario.scheme,
         "apps": [app.table2_id for app in scenario.apps],
@@ -94,7 +102,7 @@ def strip_hub(result: RunResult) -> RunResult:
 
 
 def _run_remote(
-    item: Tuple[int, Scenario]
+    item: Tuple[int, Scenario, bool]
 ) -> Tuple[int, Optional[RunResult], Optional[ReproError], Tuple[int, float]]:
     """Pool worker: run one scenario, capturing only library errors.
 
@@ -103,10 +111,12 @@ def _run_remote(
     trailing ``(pid, wall_seconds)`` pair feeds the engine's per-worker
     accounting.
     """
-    index, scenario = item
+    index, scenario, fast_forward = item
     started = time.perf_counter()
     try:
-        result: Optional[RunResult] = strip_hub(execute_scenario(scenario))
+        result: Optional[RunResult] = strip_hub(
+            execute_scenario(scenario, fast_forward=fast_forward)
+        )
         error: Optional[ReproError] = None
     except ReproError as exc:
         result, error = None, exc
@@ -124,17 +134,23 @@ class ScenarioEngine:
     ``workers=1`` executes in-process (results keep their hub attached);
     ``workers>1`` fans independent scenarios out over a process pool.
     ``cache_dir`` enables the on-disk result cache; cache hits return
-    hub-stripped results.
+    hub-stripped results.  ``fast_forward=True`` lets periodic scenarios
+    skip steady-state cycles analytically (rtol 1e-9 on energy/duration,
+    exact counters; aperiodic scenarios transparently run in full) —
+    fast-forwarded results are fingerprinted separately, so the cache
+    never mixes the two modes.
     """
 
     def __init__(
         self,
         workers: int = 1,
         cache_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+        fast_forward: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.workers = int(workers)
+        self.fast_forward = bool(fast_forward)
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
         #: Wall-clock instrumentation: cache traffic, fingerprint cost,
         #: per-worker time and scenarios/second.
@@ -155,7 +171,9 @@ class ScenarioEngine:
     def _fingerprint(self, scenario: Scenario) -> str:
         """Fingerprint one scenario, charging the time to the metrics."""
         started = time.perf_counter()
-        fingerprint = scenario_fingerprint(scenario)
+        fingerprint = scenario_fingerprint(
+            scenario, fast_forward=self.fast_forward
+        )
         self.metrics.fingerprint_wall_s += time.perf_counter() - started
         return fingerprint
 
@@ -220,7 +238,7 @@ class ScenarioEngine:
                 self.metrics.run_wall_s += time.perf_counter() - started
                 return cached
         sim_started = time.perf_counter()
-        result = execute_scenario(scenario)
+        result = execute_scenario(scenario, fast_forward=self.fast_forward)
         self.metrics.note_worker(
             self._worker_label(os.getpid()),
             time.perf_counter() - sim_started,
@@ -259,7 +277,11 @@ class ScenarioEngine:
                 max_workers=min(self.workers, len(pending))
             ) as pool:
                 for index, result, error, (pid, elapsed) in pool.map(
-                    _run_remote, pending
+                    _run_remote,
+                    [
+                        (index, scenario, self.fast_forward)
+                        for index, scenario in pending
+                    ],
                 ):
                     outcomes[index] = result if error is None else error
                     self.metrics.note_worker(
@@ -269,7 +291,9 @@ class ScenarioEngine:
             for index, scenario in pending:
                 sim_started = time.perf_counter()
                 try:
-                    outcomes[index] = execute_scenario(scenario)
+                    outcomes[index] = execute_scenario(
+                        scenario, fast_forward=self.fast_forward
+                    )
                 except ReproError as exc:
                     outcomes[index] = exc
                 self.metrics.note_worker(

@@ -54,10 +54,17 @@ class ScenarioRunner:
 
 
 def run_scenario(
-    scenario: Scenario, obs: Optional[NullRecorder] = None
+    scenario: Scenario,
+    obs: Optional[NullRecorder] = None,
+    fast_forward: bool = False,
 ) -> RunResult:
-    """Execute one scenario under its registered scheme."""
-    return execute_scenario(scenario, obs=obs)
+    """Execute one scenario under its registered scheme.
+
+    ``fast_forward=True`` enables steady-state cycle skipping (see
+    :mod:`repro.core.fastforward`); results then match full simulation
+    at rtol 1e-9 with exact counters rather than bit-identically.
+    """
+    return execute_scenario(scenario, obs=obs, fast_forward=fast_forward)
 
 
 def run_apps(
@@ -67,6 +74,7 @@ def run_apps(
     calibration=None,
     waveforms=None,
     obs: Optional[NullRecorder] = None,
+    fast_forward: bool = False,
 ) -> RunResult:
     """Run Table II apps by id under one scheme."""
     return run_scenario(
@@ -78,4 +86,5 @@ def run_apps(
             waveforms=waveforms,
         ),
         obs=obs,
+        fast_forward=fast_forward,
     )

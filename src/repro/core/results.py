@@ -9,14 +9,12 @@ from ..apps.base import AppResult
 from ..energy.meter import EnergyReport
 from ..firmware.capability import OffloadReport
 from ..hw.board import IoTHub
-from ..hw.power import Routine
+from ..hw.power import BUSY_STATES, Routine
 from ..units import to_mj, to_ms
 
-#: Component states that count as "busy" for the timing breakdown
-#: (Figures 8 and 13): actual work on a core, a sensor rail, the bus or
-#: the NIC.  Wake transitions cost energy but perform no work, so they
-#: are excluded from the performance metric.
-_BUSY_STATES = {"busy", "read", "active", "tx"}
+#: Backwards-compatible alias; the canonical set lives next to the
+#: power-state machinery in :mod:`repro.hw.power`.
+_BUSY_STATES = BUSY_STATES
 
 
 def routine_busy_times(hub: IoTHub, end_time: float) -> Dict[str, float]:

@@ -8,6 +8,9 @@ from typing import Callable, List, Optional
 
 from ..errors import SchedulingError
 
+#: Below this raw heap size compaction is never worth the rebuild cost.
+_COMPACT_MIN_HEAP = 64
+
 
 class Event:
     """A callback scheduled at a point in virtual time.
@@ -17,17 +20,25 @@ class Event:
     simulations reproducible.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        #: Owning queue while the event sits in its heap; ``None`` once
+        #: popped or discarded, so late cancels don't corrupt the counts.
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -38,47 +49,80 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` objects keyed on ``(time, seq)``."""
+    """Min-heap of :class:`Event` objects keyed on ``(time, seq)``.
+
+    Live and cancelled entries are counted incrementally so ``len()`` and
+    truth-testing — which the kernel performs once per executed event —
+    are O(1) instead of scanning the heap.  When cancelled entries come
+    to dominate (more than half of a non-trivial heap), the heap is
+    compacted in one O(n) pass so long runs with many cancelled timeouts
+    don't grow memory without bound.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
+        self._live = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return any(not event.cancelled for event in self._heap)
+        return self._live > 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute ``time`` and return its event."""
         if time != time:  # NaN guard
             raise SchedulingError("event time is NaN")
         event = Event(time, next(self._counter), callback)
+        event._queue = self
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest non-cancelled event."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event._queue = None
             if not event.cancelled:
+                self._live -= 1
                 return event
+            self._cancelled -= 1
         raise SchedulingError("pop from an empty event queue")
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)._queue = None
+            self._cancelled -= 1
+        return heap[0].time if heap else None
+
+    def _note_cancel(self) -> None:
+        """Account for an in-heap cancellation; compact when dominated."""
+        self._live -= 1
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= _COMPACT_MIN_HEAP and self._cancelled * 2 > len(heap):
+            survivors = []
+            for event in heap:
+                if event.cancelled:
+                    event._queue = None
+                else:
+                    survivors.append(event)
+            # In-place so instrumentation holding raw_heap() stays valid.
+            heap[:] = survivors
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     @property
     def depth(self) -> int:
         """Raw heap size, cancelled entries included (an O(1) read).
 
         This is the instrumentation view — the memory the queue actually
-        holds — as opposed to ``len()``, which counts live events in
-        O(n).
+        holds — as opposed to ``len()``, which counts only live events.
         """
         return len(self._heap)
 
@@ -87,5 +131,7 @@ class EventQueue:
 
         The kernel's run loop samples ``len()`` of this on every event;
         handing out the list once avoids a property call per event.
+        Compaction rewrites the list in place, so the reference stays
+        valid across events.
         """
         return self._heap

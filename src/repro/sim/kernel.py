@@ -35,6 +35,9 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._processes: list[Process] = []
+        #: Total events executed over the simulator's lifetime, across
+        #: all :meth:`run` calls (segmented runs accumulate).
+        self.events_executed = 0
         #: Instrumentation sink shared by the kernel and its processes.
         self.obs = obs if obs is not None else NULL_RECORDER
 
@@ -76,6 +79,26 @@ class Simulator:
     def next_event_time(self) -> Optional[float]:
         """Time of the next scheduled event (used by sleep governors)."""
         return self._queue.peek_time()
+
+    @property
+    def processes(self) -> tuple:
+        """Every process ever spawned, finished ones included."""
+        return tuple(self._processes)
+
+    def iter_pending(self) -> list:
+        """Live (non-cancelled) events, soonest first, for inspection.
+
+        O(n log n); meant for boundary snapshots and debugging, never the
+        per-event hot path.
+        """
+        return sorted(
+            (
+                event
+                for event in self._queue.raw_heap()
+                if not event.cancelled
+            ),
+            key=lambda event: (event.time, event.seq),
+        )
 
     def step(self) -> bool:
         """Execute the next event; return ``False`` if the queue was empty."""
@@ -123,6 +146,7 @@ class Simulator:
                     )
         finally:
             self._running = False
+            self.events_executed += executed
             if observing:
                 obs.count("sim.events", executed)
                 obs.gauge_max("sim.heap_depth", max_depth)

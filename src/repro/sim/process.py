@@ -110,6 +110,11 @@ class Process:
         #: Counter label cached so waits don't rebuild the f-string.
         self._wait_label: Optional[str] = None
 
+    @property
+    def waiting_on(self) -> Optional[Signal]:
+        """The signal this process is blocked on, if any."""
+        return self._waiting_on
+
     def start(self) -> None:
         """Schedule the first step of the generator at the current time."""
         self.sim.schedule(0.0, lambda: self._advance(None))

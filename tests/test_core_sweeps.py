@@ -72,7 +72,7 @@ def test_sweep_propagates_programming_errors_in_run(monkeypatch):
     """A bug inside the simulator aborts the sweep instead of hiding."""
     import repro.core.engine as engine_module
 
-    def exploding(scenario):
+    def exploding(scenario, **kwargs):
         raise RuntimeError("simulated bug")
 
     monkeypatch.setattr(engine_module, "execute_scenario", exploding)

@@ -66,3 +66,73 @@ def test_len_counts_only_live_events():
     events[3].cancel()
     assert len(queue) == 3
     assert bool(queue)
+
+
+def test_cancel_keeps_live_count_consistent():
+    """The O(1) live count agrees with a brute-force scan at every step."""
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10)]
+
+    def brute_force():
+        return sum(
+            1 for event in queue.raw_heap() if not event.cancelled
+        )
+
+    for index in (0, 7, 3):
+        events[index].cancel()
+        assert len(queue) == brute_force()
+    # Double-cancel must not decrement twice.
+    events[7].cancel()
+    assert len(queue) == brute_force() == 7
+    # Pops interleaved with cancels stay consistent too.  The pop
+    # skips cancelled event 0 and returns event 1; cancelling the
+    # popped event afterwards must not decrement.
+    assert queue.pop() is events[1]
+    events[1].cancel()
+    assert len(queue) == brute_force() == 6
+    events[2].cancel()
+    assert len(queue) == brute_force() == 5
+    while queue:
+        queue.pop()
+    assert len(queue) == 0
+    assert not queue
+
+
+def test_cancel_after_pop_is_harmless():
+    """Cancelling an event already executed must not corrupt the count."""
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    popped = queue.pop()
+    assert popped is first
+    first.cancel()
+    assert len(queue) == 1
+    assert queue.pop().time == 2.0
+    assert len(queue) == 0
+
+
+def test_compaction_bounds_heap_growth():
+    """Cancelling most of a large heap rebuilds it instead of growing."""
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    assert len(queue) == 50
+    # Lazy compaction kicked in: the raw heap dropped the cancelled
+    # majority instead of holding all 200 entries (the rebuild fires
+    # once cancelled entries outnumber live ones).
+    assert queue.depth < 100
+    # Order and contents survive the rebuild.
+    times = [queue.pop().time for _ in range(len(queue))]
+    assert times == sorted(float(i) for i in range(150, 200))
+
+
+def test_small_heaps_skip_compaction():
+    """Tiny heaps are not worth rebuilding; cancelled entries may linger."""
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10)]
+    for event in events[:9]:
+        event.cancel()
+    assert len(queue) == 1
+    assert queue.depth == 10  # below the compaction threshold
+    assert queue.pop().time == 9.0
