@@ -9,13 +9,17 @@ the benefit is already captured at moderate batch sizes.
 from conftest import run_once
 
 from repro.apps import create_app
-from repro.core import Scenario, Scheme, grid_of, run_scenario, run_sweep
+from repro.core import Scenario, ScenarioEngine, Scheme, grid_of, run_sweep
 
 BATCH_SIZES = (1, 2, 5, 10, 50, 200, 1000)
 
+# The baseline run and the sweep share one engine (one memory cache,
+# one pool configuration) instead of building a fresh one per call.
+ENGINE = ScenarioEngine(memory_cache=32)
+
 
 def _measure():
-    baseline = run_scenario(
+    baseline = ENGINE.run(
         Scenario(apps=[create_app("A2")], scheme=Scheme.BASELINE)
     )
     points = run_sweep(
@@ -25,6 +29,7 @@ def _measure():
             scheme=Scheme.BATCHING,
             batch_size=batch_size,
         ),
+        engine=ENGINE,
     )
     sweep = {}
     for point in points:

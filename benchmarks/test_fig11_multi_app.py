@@ -6,11 +6,15 @@ worst when only one of many sensors is shared); BCOM saves ~70%.
 
 from conftest import run_once
 
-from repro.core import Scenario, Scheme, run_sweep
+from repro.core import Scenario, ScenarioEngine, Scheme, run_sweep
 from repro.workloads import FIG11_COMBOS, shared_sensors
 from repro.workloads.combos import combo_label
 
 SCHEMES = (Scheme.BASELINE, Scheme.BEAM, Scheme.BCOM)
+
+# One engine for the whole module: repeated measurements share its
+# memory cache, dedup pass and (if workers were configured) pool.
+ENGINE = ScenarioEngine(memory_cache=128)
 
 
 def fig11_grid():
@@ -27,7 +31,7 @@ def fig11_factory(combo, scheme):
 
 
 def _measure():
-    sweep = run_sweep(fig11_grid(), fig11_factory)
+    sweep = run_sweep(fig11_grid(), fig11_factory, engine=ENGINE)
     rows = {}
     for point in sweep:
         assert point.ok, point.error

@@ -14,6 +14,9 @@ Subcommands:
   run a scenario with instrumentation attached and export the
   simulator's own spans/counters (text summary, JSONL, or a Chrome
   ``trace_event`` file for Perfetto); see ``docs/observability.md``.
+* ``cache stats --cache-dir .cache`` — inspect, garbage-collect
+  (``gc --max-bytes N``, oldest entries evicted first) or ``clear`` a
+  result-cache directory; see ``docs/performance.md``.
 * ``lint src/`` — run the repo's own static analysis (units discipline,
   determinism, error surface, scheme contracts, docstrings); see
   ``docs/static-analysis.md``.
@@ -44,12 +47,22 @@ def _add_run_parser(subparsers) -> None:
     parser.add_argument(
         "--batch-size", type=int, default=None, help="partial batch size"
     )
+    _add_cache_flags(parser)
+    _add_fast_forward_flag(parser)
+
+
+def _add_cache_flags(parser) -> None:
     parser.add_argument(
         "--cache-dir",
         default=None,
         help="memoize results on disk by scenario fingerprint",
     )
-    _add_fast_forward_flag(parser)
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="cap the disk cache; oldest entries are evicted after runs",
+    )
 
 
 def _add_fast_forward_flag(parser) -> None:
@@ -80,12 +93,32 @@ def _add_compare_parser(subparsers) -> None:
         default=1,
         help="worker processes for parallel scheme runs",
     )
+    _add_cache_flags(parser)
+    _add_fast_forward_flag(parser)
+
+
+def _add_cache_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "cache",
+        help="inspect or prune a result-cache directory",
+    )
+    parser.add_argument(
+        "action",
+        choices=["stats", "gc", "clear"],
+        help="stats = entry count/bytes/shards; gc = evict oldest "
+        "entries down to --max-bytes; clear = delete every entry",
+    )
     parser.add_argument(
         "--cache-dir",
-        default=None,
-        help="memoize results on disk by scenario fingerprint",
+        required=True,
+        help="the cache directory to operate on",
     )
-    _add_fast_forward_flag(parser)
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte cap for gc (required by the gc action)",
+    )
 
 
 def _add_profile_parser(subparsers) -> None:
@@ -192,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling interval in microseconds (default 1000)",
     )
     _add_profile_parser(subparsers)
+    _add_cache_parser(subparsers)
     _add_lint_parser(subparsers)
     return parser
 
@@ -206,7 +240,9 @@ def _cmd_run(args) -> int:
         batch_size=args.batch_size,
     )
     engine = ScenarioEngine(
-        cache_dir=args.cache_dir, fast_forward=args.fast_forward
+        cache_dir=args.cache_dir,
+        fast_forward=args.fast_forward,
+        cache_max_bytes=args.cache_max_bytes,
     )
     result = engine.run(scenario)
     print(result.summary())
@@ -227,17 +263,18 @@ def _cmd_run(args) -> int:
 def _cmd_compare(args) -> int:
     from .core import ScenarioEngine
 
-    engine = ScenarioEngine(
+    with ScenarioEngine(
         workers=args.workers,
         cache_dir=args.cache_dir,
         fast_forward=args.fast_forward,
-    )
-    results = compare_schemes(
-        args.apps,
-        args.schemes,
-        windows=args.windows,
-        engine=engine,
-    )
+        cache_max_bytes=args.cache_max_bytes,
+    ) as engine:
+        results = compare_schemes(
+            args.apps,
+            args.schemes,
+            windows=args.windows,
+            engine=engine,
+        )
     baseline_key = args.schemes[0]
     print(
         format_breakdown_table(
@@ -341,6 +378,35 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from .core.cache import DiskResultCache
+
+    cache = DiskResultCache(args.cache_dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache: {stats.root}")
+        print(f"  entries:     {stats.entries}")
+        print(f"  total bytes: {stats.total_bytes}")
+        print(f"  shard dirs:  {stats.shard_dirs}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    if args.max_bytes is None:
+        print("repro cache gc: --max-bytes is required", file=sys.stderr)
+        return 2
+    outcome = cache.gc(max_bytes=args.max_bytes)
+    print(
+        f"evicted {outcome.evicted} entr"
+        f"{'y' if outcome.evicted == 1 else 'ies'} "
+        f"({outcome.freed_bytes} bytes); "
+        f"{outcome.remaining_entries} left "
+        f"({outcome.remaining_bytes} bytes)"
+    )
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from .analysis import (
         LintConfigError,
@@ -385,6 +451,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

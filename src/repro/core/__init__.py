@@ -6,8 +6,15 @@ fan-out on top of them.
 """
 
 from ..firmware.capability import OffloadReport, check_offloadable
-from .compare import average_savings, compare_schemes, savings_table
-from .engine import ScenarioEngine, scenario_fingerprint
+from .cache import (
+    CacheStats,
+    DiskResultCache,
+    GcResult,
+    LRUResultCache,
+    TieredResultCache,
+)
+from .compare import average_savings, compare_grid, compare_schemes, savings_table
+from .engine import ScenarioEngine, canonicalize_scenario, scenario_fingerprint
 from .executor import ScenarioRunner, run_apps, run_scenario
 from .fastforward import try_fast_forward
 from .results import RunResult, routine_busy_times
@@ -19,9 +26,14 @@ from .schemes import (
     register_scheme,
     scheme_names,
 )
+from .pool import WorkerPool, adaptive_chunk_size
 from .sweeps import Sweep, SweepPoint, grid_of, run_sweep
 
 __all__ = [
+    "CacheStats",
+    "DiskResultCache",
+    "GcResult",
+    "LRUResultCache",
     "OffloadReport",
     "RunResult",
     "Scenario",
@@ -32,8 +44,13 @@ __all__ = [
     "SchemeExecutor",
     "Sweep",
     "SweepPoint",
+    "TieredResultCache",
+    "WorkerPool",
+    "adaptive_chunk_size",
     "average_savings",
+    "canonicalize_scenario",
     "check_offloadable",
+    "compare_grid",
     "compare_schemes",
     "grid_of",
     "iter_schemes",

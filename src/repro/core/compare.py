@@ -2,12 +2,60 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..calibration import Calibration
 from .engine import ScenarioEngine
 from .results import RunResult
 from .scenario import Scenario, Scheme
+
+
+def compare_grid(
+    app_sets: Sequence[Sequence[str]],
+    schemes: Sequence[str],
+    windows: int = 1,
+    calibration: Optional[Calibration] = None,
+    waveforms: Optional[Dict[str, Any]] = None,
+    engine: Optional[ScenarioEngine] = None,
+    workers: int = 1,
+    cache_dir: Optional[Any] = None,
+) -> Dict[Tuple[str, ...], Dict[str, RunResult]]:
+    """Run every app set under every scheme through ONE engine batch.
+
+    The whole ``app_sets x schemes`` grid goes through a single
+    :meth:`~repro.core.engine.ScenarioEngine.run_batch` call, so one
+    worker pool, one memory cache and one dedup pass serve the entire
+    comparison — instead of a fresh engine (and pool spawn) per scheme.
+    Returns ``{tuple(app_ids): {scheme: result}}`` in input order.
+    """
+    owns_engine = engine is None
+    engine = engine or ScenarioEngine(workers=workers, cache_dir=cache_dir)
+    keys = [tuple(app_ids) for app_ids in app_sets]
+    scenarios = [
+        Scenario.of(
+            list(key),
+            scheme=scheme,
+            windows=windows,
+            calibration=calibration,
+            waveforms=waveforms,
+        )
+        for key in keys
+        for scheme in schemes
+    ]
+    try:
+        results = engine.run_many(scenarios)
+    finally:
+        if owns_engine:
+            # Only close pools we spawned; a shared engine stays warm.
+            engine.close()
+    grid: Dict[Tuple[str, ...], Dict[str, RunResult]] = {}
+    cursor = 0
+    for key in keys:
+        grid[key] = {}
+        for scheme in schemes:
+            grid[key][scheme] = results[cursor]
+            cursor += 1
+    return grid
 
 
 def compare_schemes(
@@ -26,20 +74,19 @@ def compare_schemes(
     leaks between runs.  ``workers``/``cache_dir`` (or a pre-built
     ``engine``) route the runs through the
     :class:`~repro.core.engine.ScenarioEngine` for parallel fan-out and
-    fingerprint caching.
+    fingerprint caching.  This is :func:`compare_grid` for one app set.
     """
-    engine = engine or ScenarioEngine(workers=workers, cache_dir=cache_dir)
-    scenarios = [
-        Scenario.of(
-            app_ids,
-            scheme=scheme,
-            windows=windows,
-            calibration=calibration,
-            waveforms=waveforms,
-        )
-        for scheme in schemes
-    ]
-    return dict(zip(schemes, engine.run_many(scenarios)))
+    grid = compare_grid(
+        [list(app_ids)],
+        schemes,
+        windows=windows,
+        calibration=calibration,
+        waveforms=waveforms,
+        engine=engine,
+        workers=workers,
+        cache_dir=cache_dir,
+    )
+    return grid[tuple(app_ids)]
 
 
 def savings_table(

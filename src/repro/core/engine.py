@@ -1,22 +1,34 @@
-"""The scenario engine: fingerprinted, cached, parallel execution.
+"""The scenario engine: fingerprinted, cached, deduplicated, pooled.
 
 Sweep grids and scheme comparisons re-simulate the same scenarios over
-and over; the :class:`ScenarioEngine` makes that cheap in two orthogonal
-ways:
+and over; the :class:`ScenarioEngine` makes that cheap in three
+orthogonal ways:
 
 * **Memoization** — every scenario has a deterministic *fingerprint*
   (scheme + apps + windows + calibration constants + waveforms + failure
   injection).  Because the simulator itself is deterministic (no wall
   clock, no RNG), a fingerprint fully determines the
-  :class:`~repro.core.results.RunResult`, so results can be cached on
-  disk and reused across runs and processes.
-* **Fan-out** — independent scenarios run concurrently on a
-  ``concurrent.futures`` process pool (``workers=N``).
+  :class:`~repro.core.results.RunResult`, so results are cached in a
+  two-tier store (:mod:`repro.core.cache`): an in-memory LRU over a
+  sharded on-disk layout shared across processes.
+* **Dedup** — grid points that are *permutations* of each other (same
+  apps listed in a different order) canonicalize to one fingerprint,
+  simulate once, and fan the result back out to every requesting point.
+  The engine executes the canonical ordering, so deduplicated, cached
+  and serial runs of the same point are bit-identical.  Failure
+  injection disables canonicalization (availability draws key off read
+  order), so those scenarios always run as given.
+* **Fan-out** — independent scenarios run concurrently on a persistent
+  :class:`~repro.core.pool.WorkerPool` (``workers=N``): spawned lazily
+  once, reused across ``run_sweep``/``compare_schemes`` calls, with
+  chunked dispatch so thousands of small scenarios don't pay one IPC
+  round-trip each.
 
-Both paths strip the live :class:`~repro.hw.board.IoTHub` from the
-result (it holds running generators and is neither picklable nor
-meaningful outside the run); in-process serial runs keep it attached,
-preserving the historical behavior of ``run_scenario``.
+Both cache and fan-out paths strip the live
+:class:`~repro.hw.board.IoTHub` from the result (it holds running
+generators and is neither picklable nor meaningful outside the run);
+in-process serial runs keep it attached, preserving the historical
+behavior of ``run_scenario``.
 """
 
 from __future__ import annotations
@@ -25,62 +37,114 @@ import dataclasses
 import hashlib
 import json
 import os
-import pickle
-import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ReproError
 from ..obs.metrics import EngineMetrics
+from .cache import DiskResultCache, LRUResultCache, TieredResultCache
+from .pool import WorkerPool
 from .results import RunResult
 from .scenario import Scenario
 from .schemes.base import execute_scenario
 
 #: Bump when the fingerprint payload layout changes, so stale cache
 #: entries from older library versions can never be returned.
-#: v2: payload gained the ``fast_forward`` flag (extrapolated results
-#: match full simulation at rtol 1e-9, not bit-identically, so the two
-#: modes must never share cache entries).
-FINGERPRINT_VERSION = 2
+#: v2: payload gained the ``fast_forward`` flag.
+#: v3: the presentational ``name`` left the payload (it cannot change
+#: the simulation), app ids are canonicalized (sorted) for
+#: dedup-eligible scenarios, and ndarray waveform attributes hash their
+#: full buffer instead of a (truncating) ``repr``.
+FINGERPRINT_VERSION = 3
+
+#: Default in-memory LRU capacity when disk caching is enabled.
+DEFAULT_MEMORY_CACHE_ENTRIES = 256
 
 
 def _waveform_payload(waveform: Any) -> Any:
-    """Stable description of a waveform for fingerprinting.
+    """Canonical description of a waveform for fingerprinting.
 
     Waveforms are pure functions of time plus their constructor
     parameters, so class identity + instance attributes pin them down.
-    Custom waveforms with unhashable internals can override this by
-    providing a ``cache_key()`` method.
+    ndarray attributes are digested over their full buffer (``repr``
+    would silently truncate long traces into colliding payloads).
+    Custom waveforms with other unhashable internals can override this
+    by providing a ``cache_key()`` method.
     """
     cache_key = getattr(waveform, "cache_key", None)
     if callable(cache_key):
         return cache_key()
-    state = {key: repr(value) for key, value in sorted(vars(waveform).items())}
+    state = {
+        key: _attribute_payload(value)
+        for key, value in sorted(vars(waveform).items())
+    }
     return [
         f"{type(waveform).__module__}.{type(waveform).__qualname__}",
         state,
     ]
 
 
+def _attribute_payload(value: Any) -> str:
+    """Stable string form of one waveform attribute."""
+    tobytes = getattr(value, "tobytes", None)
+    if callable(tobytes):  # ndarray-like: digest the full buffer
+        digest = hashlib.sha256(tobytes()).hexdigest()
+        dtype = getattr(value, "dtype", "")
+        shape = getattr(value, "shape", "")
+        return f"ndarray:{shape}:{dtype}:{digest}"
+    return repr(value)
+
+
+def dedup_eligible(scenario: Scenario) -> bool:
+    """Whether a scenario may be canonicalized for dedup.
+
+    Failure injection draws availability failures keyed off absolute
+    read order, so permuting the app list can change which reads fail;
+    those scenarios must simulate exactly as given.
+    """
+    return not scenario.sensor_failure_rates
+
+
+def canonicalize_scenario(scenario: Scenario) -> Scenario:
+    """The scenario with its apps in canonical (sorted-by-id) order.
+
+    Returns the *same* object when the order is already canonical or the
+    scenario is not :func:`dedup_eligible`; otherwise a copy sharing the
+    app instances.  The copy keeps the scenario's (presentational) name.
+    """
+    if not dedup_eligible(scenario):
+        return scenario
+    ordered = sorted(scenario.apps, key=lambda app: app.table2_id)
+    if ordered == scenario.apps:
+        return scenario
+    return dataclasses.replace(scenario, apps=ordered)
+
+
 def scenario_fingerprint(
-    scenario: Scenario, fast_forward: bool = False
+    scenario: Scenario, fast_forward: bool = False, canonical: bool = True
 ) -> str:
     """Deterministic hex digest identifying a scenario's full behavior.
 
     Two scenarios with equal fingerprints produce bit-identical
-    :class:`RunResult` metrics; anything that can change the simulation
-    (scheme, apps, windows, batch size, calibration constants, waveform
-    overrides, failure injection) feeds the digest — as does the
-    execution mode (``fast_forward``), whose results are equivalent but
-    not bit-identical.
+    :class:`RunResult` metrics (up to the presentational name/app-id
+    order); anything that can change the simulation (scheme, apps,
+    windows, batch size, calibration constants, waveform overrides,
+    failure injection) feeds the digest — as does the execution mode
+    (``fast_forward``), whose results are equivalent but not
+    bit-identical.  With ``canonical=True`` (the engine's dedup mode)
+    the app ids are sorted for dedup-eligible scenarios, so permutations
+    of one app set collide on purpose; pass ``canonical=False`` to
+    fingerprint the as-given ordering (an engine built with
+    ``dedup=False`` executes that ordering, whose results can differ).
     """
+    app_ids = [app.table2_id for app in scenario.apps]
+    if canonical and dedup_eligible(scenario):
+        app_ids = sorted(app_ids)
     payload = {
         "version": FINGERPRINT_VERSION,
         "fast_forward": bool(fast_forward),
-        "name": scenario.name,
         "scheme": scenario.scheme,
-        "apps": [app.table2_id for app in scenario.apps],
+        "apps": app_ids,
         "windows": scenario.windows,
         "batch_size": scenario.batch_size,
         "failure_rates": sorted(scenario.sensor_failure_rates.items()),
@@ -129,16 +193,24 @@ Outcome = Union[RunResult, ReproError]
 
 
 class ScenarioEngine:
-    """Runs scenarios through the fingerprint cache and a worker pool.
+    """Runs scenarios through the two-tier cache, dedup and worker pool.
 
     ``workers=1`` executes in-process (results keep their hub attached);
-    ``workers>1`` fans independent scenarios out over a process pool.
-    ``cache_dir`` enables the on-disk result cache; cache hits return
-    hub-stripped results.  ``fast_forward=True`` lets periodic scenarios
-    skip steady-state cycles analytically (rtol 1e-9 on energy/duration,
-    exact counters; aperiodic scenarios transparently run in full) —
-    fast-forwarded results are fingerprinted separately, so the cache
-    never mixes the two modes.
+    ``workers>1`` fans independent scenarios out over a persistent
+    process pool (spawned lazily, reused across calls — use the engine
+    as a context manager, or call :meth:`close`, to shut it down).
+    ``cache_dir`` enables the sharded on-disk result cache with an
+    in-memory LRU in front of it (``memory_cache`` overrides the LRU
+    capacity; pass a capacity without ``cache_dir`` for a memory-only
+    cache, or ``0`` to disable the memory tier).  ``cache_max_bytes``
+    arms an oldest-first eviction pass over the disk tier after each
+    run.  ``dedup=True`` (default) canonicalizes app order so permuted
+    grid points simulate once; see :func:`canonicalize_scenario` for
+    when a scenario opts out.  ``fast_forward=True`` lets periodic
+    scenarios skip steady-state cycles analytically (rtol 1e-9 on
+    energy/duration, exact counters; aperiodic scenarios transparently
+    run in full) — fast-forwarded results are fingerprinted separately,
+    so the cache never mixes the two modes.
     """
 
     def __init__(
@@ -146,36 +218,99 @@ class ScenarioEngine:
         workers: int = 1,
         cache_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
         fast_forward: bool = False,
+        dedup: bool = True,
+        memory_cache: Optional[int] = None,
+        cache_max_bytes: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         self.workers = int(workers)
         self.fast_forward = bool(fast_forward)
+        self.dedup = bool(dedup)
         self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
-        #: Wall-clock instrumentation: cache traffic, fingerprint cost,
-        #: per-worker time and scenarios/second.
+        if memory_cache is None:
+            memory_cache = (
+                DEFAULT_MEMORY_CACHE_ENTRIES if self.cache_dir else 0
+            )
+        self._cache = TieredResultCache(
+            memory=LRUResultCache(memory_cache) if memory_cache else None,
+            disk=(
+                DiskResultCache(self.cache_dir, max_bytes=cache_max_bytes)
+                if self.cache_dir is not None
+                else None
+            ),
+        )
+        self._pool: Optional[WorkerPool] = None
+        #: Wall-clock instrumentation: cache traffic per tier, dedup
+        #: fan-outs, pool reuse, fingerprint cost, per-worker time.
         self.metrics = EngineMetrics()
         #: Maps a pool worker's pid to its stable ``w<N>`` label.
         self._worker_labels: Dict[int, str] = {}
 
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the persistent worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ScenarioEngine":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
     @property
     def cache_hits(self) -> int:
-        """Results served from the fingerprint cache so far."""
+        """Results served from either cache tier so far."""
         return self.metrics.cache_hits
 
     @property
     def cache_misses(self) -> int:
-        """Scenarios that had to be simulated (and then cached)."""
+        """Scenarios that had to be simulated (and were then cached)."""
         return self.metrics.cache_misses
 
+    @property
+    def dedup_hits(self) -> int:
+        """Grid points served by fanning out another point's simulation."""
+        return self.metrics.dedup_hits
+
+    # ------------------------------------------------------------------
+    # fingerprinting and rebinding
+    # ------------------------------------------------------------------
     def _fingerprint(self, scenario: Scenario) -> str:
         """Fingerprint one scenario, charging the time to the metrics."""
         started = time.perf_counter()
         fingerprint = scenario_fingerprint(
-            scenario, fast_forward=self.fast_forward
+            scenario, fast_forward=self.fast_forward, canonical=self.dedup
         )
         self.metrics.fingerprint_wall_s += time.perf_counter() - started
         return fingerprint
+
+    def _execution_form(self, scenario: Scenario) -> Scenario:
+        """What actually runs: the canonical ordering under dedup."""
+        if not self.dedup:
+            return scenario
+        return canonicalize_scenario(scenario)
+
+    @staticmethod
+    def _rebind(result: RunResult, scenario: Scenario) -> RunResult:
+        """Present a result under the requesting scenario's identity.
+
+        Cache hits and dedup fan-outs may carry another (permuted or
+        renamed) requester's name/app-id order; the physics are
+        identical, so only the presentational fields are rewritten.
+        """
+        app_ids = [app.table2_id for app in scenario.apps]
+        if (
+            result.scenario_name == scenario.name
+            and result.app_ids == app_ids
+        ):
+            return result
+        return dataclasses.replace(
+            result, scenario_name=scenario.name, app_ids=app_ids
+        )
 
     def _worker_label(self, pid: int) -> str:
         """Stable ``w<N>`` label for a worker pid, in first-seen order."""
@@ -183,45 +318,18 @@ class ScenarioEngine:
             self._worker_labels[pid] = f"w{len(self._worker_labels)}"
         return self._worker_labels[pid]
 
-    # ------------------------------------------------------------------
-    # cache
-    # ------------------------------------------------------------------
-    def _cache_path(self, fingerprint: str) -> str:
-        assert self.cache_dir is not None
-        return os.path.join(self.cache_dir, f"{fingerprint}.pkl")
+    def _note_cache_hit(self, tier: str, count: int = 1) -> None:
+        self.metrics.cache_hits += count
+        if tier == "memory":
+            self.metrics.cache_memory_hits += count
+        else:
+            self.metrics.cache_disk_hits += count
 
-    def _cache_load(self, fingerprint: str) -> Optional[RunResult]:
-        if self.cache_dir is None:
-            return None
-        try:
-            with open(self._cache_path(fingerprint), "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            # A corrupt or stale entry is a miss, never an error.
-            return None
-
-    def _cache_store(self, fingerprint: str, result: RunResult) -> None:
-        if self.cache_dir is None:
-            return
-        os.makedirs(self.cache_dir, exist_ok=True)
-        # Atomic publish: never leave a half-written pickle behind.
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.cache_dir, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(
-                    strip_hub(result), handle, pickle.HIGHEST_PROTOCOL
-                )
-            os.replace(tmp_path, self._cache_path(fingerprint))
-        except BaseException:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+    def _sync_pool_metrics(self) -> None:
+        if self._pool is not None:
+            self.metrics.pool_spawns = self._pool.spawns
+            self.metrics.pool_dispatches = self._pool.dispatches
+            self.metrics.pool_tasks = self._pool.tasks
 
     # ------------------------------------------------------------------
     # execution
@@ -230,15 +338,18 @@ class ScenarioEngine:
         """Run one scenario: cache hit, or simulate (and populate cache)."""
         started = time.perf_counter()
         fingerprint = None
-        if self.cache_dir is not None:
+        if self._cache.enabled:
             fingerprint = self._fingerprint(scenario)
-            cached = self._cache_load(fingerprint)
-            if cached is not None:
-                self.metrics.cache_hits += 1
+            hit = self._cache.get(fingerprint)
+            if hit is not None:
+                tier, cached = hit
+                self._note_cache_hit(tier)
                 self.metrics.run_wall_s += time.perf_counter() - started
-                return cached
+                return self._rebind(cached, scenario)
         sim_started = time.perf_counter()
-        result = execute_scenario(scenario, fast_forward=self.fast_forward)
+        result = execute_scenario(
+            self._execution_form(scenario), fast_forward=self.fast_forward
+        )
         self.metrics.note_worker(
             self._worker_label(os.getpid()),
             time.perf_counter() - sim_started,
@@ -246,9 +357,10 @@ class ScenarioEngine:
         self.metrics.scenarios_run += 1
         if fingerprint is not None:
             self.metrics.cache_misses += 1
-            self._cache_store(fingerprint, result)
+            self._cache.put(fingerprint, strip_hub(result))
+            self._cache.maybe_gc()
         self.metrics.run_wall_s += time.perf_counter() - started
-        return result
+        return self._rebind(result, scenario)
 
     def run_batch(self, scenarios: Sequence[Scenario]) -> List[Outcome]:
         """Run many scenarios; per-point outcomes in input order.
@@ -257,56 +369,95 @@ class ScenarioEngine:
         :class:`ReproError` that stopped that point.  Non-library
         exceptions always propagate — a real bug in one point aborts the
         whole batch instead of disappearing into per-point errors.
+
+        Points sharing a (canonical) fingerprint are grouped: the first
+        cache lookup serves the whole group, or one simulation of the
+        canonical ordering fans out to every member (``dedup_hits``
+        counts the members beyond the first).
         """
         started = time.perf_counter()
         outcomes: List[Optional[Outcome]] = [None] * len(scenarios)
-        pending: List[Tuple[int, Scenario]] = []
-        fingerprints: Dict[int, str] = {}
+        keyed = self._cache.enabled or self.dedup
+        # Group member indices by fingerprint (or by position when
+        # neither caching nor dedup needs one — each its own group).
+        group_order: List[str] = []
+        members: Dict[str, List[int]] = {}
         for index, scenario in enumerate(scenarios):
-            if self.cache_dir is not None:
-                fingerprint = self._fingerprint(scenario)
-                fingerprints[index] = fingerprint
-                cached = self._cache_load(fingerprint)
-                if cached is not None:
-                    self.metrics.cache_hits += 1
-                    outcomes[index] = cached
+            key = self._fingerprint(scenario) if keyed else f"@{index}"
+            if key not in members:
+                members[key] = []
+                group_order.append(key)
+            members[key].append(index)
+        # Cache pass: one lookup per group serves every member.
+        pending: List[Tuple[str, Scenario]] = []
+        for key in group_order:
+            indices = members[key]
+            if self._cache.enabled:
+                hit = self._cache.get(key)
+                if hit is not None:
+                    tier, cached = hit
+                    self._note_cache_hit(tier, count=len(indices))
+                    for index in indices:
+                        outcomes[index] = self._rebind(
+                            cached, scenarios[index]
+                        )
                     continue
-            pending.append((index, scenario))
+            pending.append((key, self._execution_form(scenarios[indices[0]])))
+        # Simulation pass: one execution per surviving group.
+        executed: Dict[str, Tuple[Optional[RunResult], Optional[ReproError]]]
+        executed = {}
         if self.workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, len(pending))
-            ) as pool:
-                for index, result, error, (pid, elapsed) in pool.map(
-                    _run_remote,
-                    [
-                        (index, scenario, self.fast_forward)
-                        for index, scenario in pending
-                    ],
-                ):
-                    outcomes[index] = result if error is None else error
-                    self.metrics.note_worker(
-                        self._worker_label(pid), elapsed
-                    )
+            if self._pool is None:
+                self._pool = WorkerPool(self.workers)
+            for position, result, error, (pid, elapsed) in self._pool.map(
+                _run_remote,
+                [
+                    (position, scenario, self.fast_forward)
+                    for position, (_key, scenario) in enumerate(pending)
+                ],
+            ):
+                executed[pending[position][0]] = (result, error)
+                self.metrics.note_worker(self._worker_label(pid), elapsed)
+            self._sync_pool_metrics()
         else:
-            for index, scenario in pending:
+            for key, scenario in pending:
                 sim_started = time.perf_counter()
                 try:
-                    outcomes[index] = execute_scenario(
-                        scenario, fast_forward=self.fast_forward
+                    executed[key] = (
+                        execute_scenario(
+                            scenario, fast_forward=self.fast_forward
+                        ),
+                        None,
                     )
                 except ReproError as exc:
-                    outcomes[index] = exc
+                    executed[key] = (None, exc)
                 self.metrics.note_worker(
                     self._worker_label(os.getpid()),
                     time.perf_counter() - sim_started,
                 )
         self.metrics.scenarios_run += len(pending)
-        for index, scenario in pending:
-            outcome = outcomes[index]
-            if isinstance(outcome, RunResult):
-                if self.cache_dir is not None:
-                    self.metrics.cache_misses += 1
-                    self._cache_store(fingerprints[index], outcome)
+        # Fan-out pass: publish to caches, deliver to every member.
+        for key, _scenario in pending:
+            result, error = executed[key]
+            indices = members[key]
+            if result is not None and self._cache.enabled:
+                self.metrics.cache_misses += 1
+                self._cache.put(key, strip_hub(result))
+            self.metrics.dedup_hits += len(indices) - 1
+            for position, index in enumerate(indices):
+                if error is not None:
+                    outcomes[index] = error
+                elif position == 0:
+                    # The first requester keeps the live result (with
+                    # its hub when this was an in-process serial run).
+                    assert result is not None
+                    outcomes[index] = self._rebind(result, scenarios[index])
+                else:
+                    assert result is not None
+                    outcomes[index] = self._rebind(
+                        strip_hub(result), scenarios[index]
+                    )
+        self._cache.maybe_gc()
         self.metrics.run_wall_s += time.perf_counter() - started
         return [outcome for outcome in outcomes if outcome is not None]
 

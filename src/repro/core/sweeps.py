@@ -83,6 +83,8 @@ def run_sweep(
     workers: int = 1,
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     engine: Optional[ScenarioEngine] = None,
+    dedup: bool = True,
+    cache_max_bytes: Optional[int] = None,
 ) -> Sweep:
     """Run ``scenario_factory(**params)`` for every grid point.
 
@@ -93,10 +95,19 @@ def run_sweep(
 
     ``workers`` fans independent points out over a process pool (those
     results come back without their live hub); ``cache_dir`` memoizes
-    results on disk by scenario fingerprint.  Pass a pre-built
-    ``engine`` to share one cache/pool configuration across sweeps.
+    results on disk by scenario fingerprint (``cache_max_bytes`` caps
+    that cache, evicting oldest entries first); ``dedup`` lets grid
+    points that are app-order permutations of each other simulate once.
+    Pass a pre-built ``engine`` to share one cache/pool/memory-LRU
+    configuration across sweeps — the pool then persists between calls.
     """
-    engine = engine or ScenarioEngine(workers=workers, cache_dir=cache_dir)
+    owns_engine = engine is None
+    engine = engine or ScenarioEngine(
+        workers=workers,
+        cache_dir=cache_dir,
+        dedup=dedup,
+        cache_max_bytes=cache_max_bytes,
+    )
     points: List[SweepPoint] = []
     pending: List[Tuple[int, Scenario]] = []
     for params in grid:
@@ -110,7 +121,13 @@ def run_sweep(
             continue
         points.append(SweepPoint(params=params, result=None))
         pending.append((len(points) - 1, scenario))
-    outcomes = engine.run_batch([scenario for _, scenario in pending])
+    try:
+        outcomes = engine.run_batch([scenario for _, scenario in pending])
+    finally:
+        if owns_engine:
+            # A caller-provided engine keeps its pool warm for the next
+            # sweep; one we built ourselves must not leak workers.
+            engine.close()
     for (slot, _), outcome in zip(pending, outcomes):
         if isinstance(outcome, ReproError):
             if not keep_errors:

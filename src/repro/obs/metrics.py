@@ -109,7 +109,20 @@ class EngineMetrics:
 
     cache_hits: int = 0
     cache_misses: int = 0
-    #: Scenarios actually simulated (cache hits excluded).
+    #: Of ``cache_hits``, how many the in-memory LRU tier served.
+    cache_memory_hits: int = 0
+    #: Of ``cache_hits``, how many came off disk (then got promoted).
+    cache_disk_hits: int = 0
+    #: Grid points served by fanning out another point's simulation
+    #: (permutation-equivalent scenarios deduplicated pre-execution).
+    dedup_hits: int = 0
+    #: Worker-pool executors created (1 == perfect pool reuse).
+    pool_spawns: int = 0
+    #: Chunks shipped to the pool (each one IPC round-trip).
+    pool_dispatches: int = 0
+    #: Individual scenarios shipped inside those chunks.
+    pool_tasks: int = 0
+    #: Scenarios actually simulated (cache and dedup hits excluded).
     scenarios_run: int = 0
     #: Host seconds spent computing scenario fingerprints.
     fingerprint_wall_s: float = 0.0
@@ -137,6 +150,12 @@ class EngineMetrics:
         return {
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_memory_hits": self.cache_memory_hits,
+            "cache_disk_hits": self.cache_disk_hits,
+            "dedup_hits": self.dedup_hits,
+            "pool_spawns": self.pool_spawns,
+            "pool_dispatches": self.pool_dispatches,
+            "pool_tasks": self.pool_tasks,
             "scenarios_run": self.scenarios_run,
             "fingerprint_wall_s": self.fingerprint_wall_s,
             "run_wall_s": self.run_wall_s,
@@ -148,12 +167,29 @@ class EngineMetrics:
         """Human-readable rows for the text reporters."""
         lines = [
             f"cache: {self.cache_hits} hit(s), "
-            f"{self.cache_misses} miss(es)",
+            f"{self.cache_misses} miss(es)"
+            + (
+                f" [memory {self.cache_memory_hits}, "
+                f"disk {self.cache_disk_hits}]"
+                if self.cache_hits
+                else ""
+            ),
             f"simulated {self.scenarios_run} scenario(s) in "
             f"{self.run_wall_s:.3f} s wall "
             f"({self.scenarios_per_sec:.2f}/s), fingerprinting "
             f"{to_ms(self.fingerprint_wall_s):.2f} ms",
         ]
+        if self.dedup_hits:
+            lines.append(
+                f"dedup: {self.dedup_hits} point(s) fanned out from "
+                "equivalent simulations"
+            )
+        if self.pool_spawns:
+            lines.append(
+                f"pool: {self.pool_spawns} spawn(s), "
+                f"{self.pool_dispatches} dispatch(es), "
+                f"{self.pool_tasks} task(s)"
+            )
         if self.worker_wall_s:
             shares = "  ".join(
                 f"{worker}={seconds:.3f}s"

@@ -58,7 +58,7 @@ def test_compare_with_workers_and_cache(tmp_path, capsys):
     assert main(args) == 0  # second run served from the cache
     second = capsys.readouterr().out
     assert first == second
-    assert list((tmp_path / "cache").glob("*.pkl"))
+    assert list((tmp_path / "cache").rglob("*.pkl"))
 
 
 def test_run_with_cache_dir(tmp_path, capsys):
@@ -66,6 +66,38 @@ def test_run_with_cache_dir(tmp_path, capsys):
     assert main(["run", "A2", "--scheme", "com", "--cache-dir", cache]) == 0
     out = capsys.readouterr().out
     assert "scheme=com" in out
+
+
+def test_cache_stats_gc_clear_roundtrip(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["run", "A2", "--scheme", "com", "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "entries:     1" in out
+    assert "shard dirs:  1" in out
+    assert main(
+        ["cache", "gc", "--cache-dir", cache, "--max-bytes", "0"]
+    ) == 0
+    assert "evicted 1 entry" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache]) == 0
+    assert "cleared 0 entries" in capsys.readouterr().out
+    assert list((tmp_path / "cache").rglob("*.pkl")) == []
+
+
+def test_cache_gc_requires_max_bytes(tmp_path, capsys):
+    assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 2
+    assert "--max-bytes is required" in capsys.readouterr().err
+
+
+def test_run_with_cache_max_bytes_caps_directory(tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    args = ["run", "A2", "--scheme", "com", "--cache-dir", cache,
+            "--cache-max-bytes", "0"]
+    assert main(args) == 0
+    capsys.readouterr()
+    # The post-run GC pass evicted the (sole) entry: cap is 0 bytes.
+    assert list((tmp_path / "cache").rglob("*.pkl")) == []
 
 
 def test_parser_rejects_unknown_scheme():

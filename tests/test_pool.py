@@ -1,0 +1,98 @@
+"""Tests for the persistent worker pool and its chunked dispatch."""
+
+import pytest
+
+from repro.core.pool import WorkerPool, adaptive_chunk_size, chunked
+
+
+def _square(value):
+    return value * value
+
+
+def _boom(value):
+    raise RuntimeError(f"boom {value}")
+
+
+# ----------------------------------------------------------------------
+# chunk-size arithmetic
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("tasks", "workers", "expected"),
+    [
+        (0, 4, 1),
+        (1, 4, 1),
+        (16, 4, 1),  # exactly chunks_per_worker chunks each
+        (42, 4, 3),  # the fig11+permutations batch: 14 dispatches
+        (1000, 4, 63),
+        (5, 8, 1),  # fewer tasks than workers: no starvation
+    ],
+)
+def test_adaptive_chunk_size(tasks, workers, expected):
+    assert adaptive_chunk_size(tasks, workers) == expected
+
+
+def test_adaptive_chunk_size_rejects_bad_workers():
+    with pytest.raises(ValueError):
+        adaptive_chunk_size(10, 0)
+
+
+def test_chunked_splits_and_preserves_order():
+    assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+    with pytest.raises(ValueError):
+        chunked([1], 0)
+
+
+# ----------------------------------------------------------------------
+# pool lifecycle
+# ----------------------------------------------------------------------
+def test_map_returns_results_in_item_order():
+    with WorkerPool(2) as pool:
+        assert pool.map(_square, list(range(10))) == [
+            value * value for value in range(10)
+        ]
+        assert pool.tasks == 10
+        assert pool.dispatches >= 2
+
+
+def test_pool_spawns_once_across_maps():
+    with WorkerPool(2) as pool:
+        pool.map(_square, [1, 2, 3])
+        pool.map(_square, [4, 5, 6])
+        assert pool.spawns == 1
+        assert pool.tasks == 6
+
+
+def test_empty_map_never_spawns():
+    with WorkerPool(2) as pool:
+        assert pool.map(_square, []) == []
+        assert pool.spawns == 0
+        assert not pool.alive
+
+
+def test_closed_pool_respawns_transparently():
+    pool = WorkerPool(2)
+    pool.map(_square, [1])
+    pool.close()
+    assert not pool.alive
+    pool.close()  # idempotent
+    assert pool.map(_square, [2]) == [4]
+    assert pool.spawns == 2
+    pool.close()
+
+
+def test_worker_exceptions_propagate():
+    with WorkerPool(2) as pool:
+        with pytest.raises(RuntimeError, match="boom"):
+            pool.map(_boom, [1, 2])
+
+
+def test_explicit_chunk_size_controls_dispatch_count():
+    with WorkerPool(2) as pool:
+        pool.map(_square, list(range(6)), chunk_size=6)
+        assert pool.dispatches == 1
+        assert pool.tasks == 6
+
+
+def test_pool_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        WorkerPool(0)
