@@ -1,11 +1,16 @@
-"""Infrastructure health: sweep-scale throughput (pool + dedup + cache).
+"""Infrastructure health: sweep-scale throughput (backends + dedup + cache).
 
 Not a paper figure — this guards the sweep execution layer: a warm
-:class:`~repro.core.engine.ScenarioEngine` (persistent worker pool,
+:class:`~repro.core.engine.ScenarioEngine` (persistent process backend,
 permutation dedup, in-memory LRU) must beat the seed behavior (a fresh
 serial engine per sweep, no dedup, no cache) by >= 3x on a fig11-style
-session, and its dedup/cache/pool counters must be bit-for-bit
+session, and its dedup/cache/backend counters must be bit-for-bit
 deterministic so CI can assert them exactly.
+
+A second benchmark sweeps one grid slice through every registered
+execution backend (serial, process, socket-over-localhost) and pins
+each backend's scheduling counters plus result parity — the speedup
+number stays a process-backend property, but no backend may drift.
 
 The session is three sweeps, the shape design-space exploration tools
 actually produce (EdgeProg/Approxify-style repeated what-if grids):
@@ -27,7 +32,8 @@ import time
 from conftest import run_once
 from test_fig11_multi_app import SCHEMES, fig11_factory, fig11_grid
 
-from repro.core import ScenarioEngine, run_sweep
+from repro.core import ScenarioEngine, WorkerAgent, run_sweep
+from repro.core.backends import backend_names
 from repro.workloads import FIG11_COMBOS
 
 #: Committed counter/speedup baseline (see module docstring).
@@ -45,8 +51,19 @@ def _load_baseline() -> dict:
         return json.load(handle)
 
 
-def _update_baseline(payload: dict) -> None:
-    document = {"version": 1, "sweep_session": payload}
+def _update_baseline(section: str, payload: dict) -> None:
+    """Rewrite one top-level section, preserving the others.
+
+    Two benchmarks share the committed file, so a regeneration run
+    (``REPRO_BENCH_UPDATE=1``) must not clobber the section the other
+    test owns.
+    """
+    try:
+        document = _load_baseline()
+    except FileNotFoundError:
+        document = {}
+    document["version"] = 2
+    document[section] = payload
     with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -81,9 +98,9 @@ def _run_session_cold():
 
 
 def _run_session_warm():
-    """One persistent engine across all three sweeps."""
+    """One persistent process-backend engine across all three sweeps."""
     with ScenarioEngine(
-        workers=WARM_WORKERS, memory_cache=128
+        workers=WARM_WORKERS, memory_cache=128, backend="process"
     ) as engine:
         sweeps = []
         for grid in (permuted_grid(), fig11_grid(), fig11_grid()):
@@ -140,8 +157,10 @@ def test_sweep_session_throughput(benchmark, figure_printer):
     # --- deterministic counters vs committed baseline ---------------
     if os.environ.get("REPRO_BENCH_UPDATE"):
         _update_baseline(
+            "sweep_session",
             {
                 "session": {
+                    "backend": "process",
                     "grids": ["fig11+reversed", "fig11", "fig11"],
                     "points": [84, 42, 42],
                     "warm_workers": WARM_WORKERS,
@@ -171,3 +190,100 @@ def test_sweep_session_throughput(benchmark, figure_printer):
     # live assertion is looser so a noisy CI host cannot flake it.
     assert baseline["wall_informational"]["speedup"] >= 3.0
     assert speedup >= 2.0
+
+
+# ----------------------------------------------------------------------
+# per-backend dimension: every registered backend, one grid slice
+# ----------------------------------------------------------------------
+
+#: First four fig11 combos x three schemes — big enough to fan out into
+#: several chunks on every backend, small enough that the GIL-bound
+#: localhost socket pass stays cheap.
+BACKEND_SLICE_POINTS = 12
+
+#: Socket workers for the localhost pass (chunking depends on it).
+SOCKET_WORKERS = 2
+
+
+def _backend_grid():
+    """A unique-point slice of the fig11 grid (no dedup, no cache hits)."""
+    return fig11_grid()[:BACKEND_SLICE_POINTS]
+
+
+def _run_backend_session(name):
+    """One sweep of the slice on ``name``; records + scheduling counters."""
+    agents = []
+    hosts = None
+    if name == "socket":
+        agents = [WorkerAgent().start() for _ in range(SOCKET_WORKERS)]
+        hosts = [agent.address for agent in agents]
+    try:
+        started = time.perf_counter()
+        with ScenarioEngine(
+            workers=WARM_WORKERS, backend=name, backend_hosts=hosts
+        ) as engine:
+            sweep = run_sweep(_backend_grid(), fig11_factory, engine=engine)
+            counters = {
+                key: value
+                for key, value in engine.metrics.snapshot().items()
+                if key.startswith("backend_") and isinstance(value, int)
+            }
+            counters["scenarios_run"] = engine.metrics.scenarios_run
+        wall_s = time.perf_counter() - started
+        return _records(sweep), counters, wall_s
+    finally:
+        for agent in agents:
+            agent.stop()
+
+
+def test_backend_dimension_parity(benchmark, figure_printer):
+    """Every registered backend produces bit-identical sweep records and
+    the exact scheduling counters committed in the baseline."""
+
+    def measure():
+        return {
+            name: _run_backend_session(name)
+            for name in sorted(backend_names())
+        }
+
+    sessions = run_once(benchmark, measure)
+
+    # --- result parity: every backend agrees with serial -------------
+    reference_records = sessions["serial"][0]
+    assert len(reference_records) == BACKEND_SLICE_POINTS
+    for name, (records, _, _) in sessions.items():
+        assert records == reference_records, name
+
+    # --- deterministic counters vs committed baseline ----------------
+    counters = {name: session[1] for name, session in sessions.items()}
+    if os.environ.get("REPRO_BENCH_UPDATE"):
+        _update_baseline(
+            "backend_dimension",
+            {
+                "session": {
+                    "grid": "fig11[:12]",
+                    "socket_workers": SOCKET_WORKERS,
+                    "warm_workers": WARM_WORKERS,
+                },
+                "deterministic": counters,
+                "wall_informational": {
+                    "generated_on": time.strftime("%Y-%m-%d"),
+                    "wall_s": {
+                        name: round(session[2], 4)
+                        for name, session in sessions.items()
+                    },
+                },
+            },
+        )
+    baseline = _load_baseline()["backend_dimension"]
+    figure_printer(
+        "Infra — backend dimension",
+        "\n".join(
+            f"{name:<8} {BACKEND_SLICE_POINTS} points in "
+            f"{session[2]:.2f} s — "
+            f"{session[1]['backend_dispatches']} chunk(s), "
+            f"{session[1]['backend_retries']} retried"
+            for name, session in sorted(sessions.items())
+        ),
+    )
+    assert counters == baseline["deterministic"]

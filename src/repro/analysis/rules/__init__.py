@@ -4,6 +4,20 @@ One module per rule family — mirror this layout (and see
 ``docs/static-analysis.md``) when adding a family.
 """
 
-from . import determinism, docs, errors, schemes, units  # noqa: F401
+from . import (  # noqa: F401
+    backends,
+    determinism,
+    docs,
+    errors,
+    schemes,
+    units,
+)
 
-__all__ = ["determinism", "docs", "errors", "schemes", "units"]
+__all__ = [
+    "backends",
+    "determinism",
+    "docs",
+    "errors",
+    "schemes",
+    "units",
+]

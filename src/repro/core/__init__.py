@@ -6,6 +6,16 @@ fan-out on top of them.
 """
 
 from ..firmware.capability import OffloadReport, check_offloadable
+from .backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    WorkerAgent,
+    backend_names,
+    create_backend,
+    register_backend,
+)
 from .cache import (
     CacheStats,
     DiskResultCache,
@@ -32,9 +42,11 @@ from .sweeps import Sweep, SweepPoint, grid_of, run_sweep
 __all__ = [
     "CacheStats",
     "DiskResultCache",
+    "ExecutionBackend",
     "GcResult",
     "LRUResultCache",
     "OffloadReport",
+    "ProcessPoolBackend",
     "RunResult",
     "Scenario",
     "ScenarioEngine",
@@ -42,18 +54,24 @@ __all__ = [
     "Scheme",
     "SchemeContext",
     "SchemeExecutor",
+    "SerialBackend",
+    "SocketBackend",
     "Sweep",
     "SweepPoint",
     "TieredResultCache",
+    "WorkerAgent",
     "WorkerPool",
     "adaptive_chunk_size",
     "average_savings",
+    "backend_names",
     "canonicalize_scenario",
     "check_offloadable",
+    "create_backend",
     "compare_grid",
     "compare_schemes",
     "grid_of",
     "iter_schemes",
+    "register_backend",
     "register_scheme",
     "routine_busy_times",
     "run_apps",

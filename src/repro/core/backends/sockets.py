@@ -1,0 +1,533 @@
+"""The multi-host socket backend and its worker agent.
+
+Pure stdlib (``socket`` + ``pickle`` + ``threading``): a fleet of
+worker agents — started with ``repro-iot worker --port N`` on each host,
+or programmatically via :class:`WorkerAgent` — serve pickled chunk
+requests over length-prefixed frames, and :class:`SocketBackend` fans a
+batch out across all of them.
+
+Scheduling is **work-stealing**: every chunk goes into one shared queue
+and each host connection drains it as fast as its host computes, so a
+slow machine simply takes fewer chunks.  Failure handling is
+**re-dispatch**: a chunk whose host disconnects or times out goes back
+into the queue (bounded by ``max_chunk_retries``) and a surviving host
+picks it up; the batch degrades gracefully until no host is left, which
+raises :class:`~repro.errors.BackendError`.  A chunk that *genuinely
+fails* — a task raised, surfacing as
+:class:`~repro.errors.ChunkTaskError` with the failing item's index and
+label — is never retried: the same inputs would fail anywhere, so the
+error aborts the batch and propagates to the caller.
+
+Wire format: every message is an 8-byte big-endian length followed by a
+pickle.  Requests are ``("run", fn, chunk, base_index, labels)``;
+responses are ``("ok", results)`` or ``("err", exception)``.  Requests
+are pickled in the caller's thread *before* dispatch, so an unpicklable
+task function raises immediately instead of poisoning the retry loop.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import threading
+from queue import Empty, Queue
+from typing import (
+    Any,
+    Callable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ...errors import BackendError, ReproError
+from .base import ExecutionBackend, ItemT, ResultT, adaptive_chunk_size
+from .base import run_chunk as _run_chunk_local
+from .registry import register_backend
+
+#: Frame header: payload length as an unsigned 64-bit big-endian int.
+_HEADER = struct.Struct(">Q")
+
+#: Environment variable consulted when no host list is given explicitly.
+HOSTS_ENV = "REPRO_BACKEND_HOSTS"
+
+#: Placeholder distinguishing "no result yet" from a legitimate None.
+_UNSET = object()
+
+HostSpec = Union[str, Tuple[str, int]]
+
+
+def parse_hosts(
+    spec: Union[None, str, Sequence[HostSpec]]
+) -> List[Tuple[str, int]]:
+    """Normalize a host list: ``"h1:9000,h2:9000"``, sequences, tuples.
+
+    Raises :class:`BackendError` for a missing/empty list or a spec
+    without a valid ``host:port`` shape.
+    """
+    if spec is None:
+        raise BackendError(
+            "the socket backend needs worker hosts: pass backend_hosts=/"
+            f"--backend-hosts or set ${HOSTS_ENV} (host:port,host:port)"
+        )
+    parts: List[HostSpec]
+    if isinstance(spec, str):
+        parts = [piece for piece in spec.split(",") if piece.strip()]
+    else:
+        parts = list(spec)
+    hosts: List[Tuple[str, int]] = []
+    for part in parts:
+        if isinstance(part, tuple):
+            host, port = part
+        else:
+            host, sep, port_text = part.strip().rpartition(":")
+            if not sep or not host:
+                raise BackendError(
+                    f"bad worker spec {part!r} (expected host:port)"
+                )
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise BackendError(
+                    f"bad worker port in {part!r} (expected host:port)"
+                ) from None
+        hosts.append((str(host), int(port)))
+    if not hosts:
+        raise BackendError("empty worker host list")
+    return hosts
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on clean EOF at a boundary."""
+    data = bytearray()
+    while len(data) < count:
+        part = sock.recv(min(65536, count - len(data)))
+        if not part:
+            if not data:
+                return None
+            raise BackendError("connection closed mid-frame")
+        data.extend(part)
+    return bytes(data)
+
+
+def send_frame(sock: socket.socket, payload: Any) -> None:
+    """Pickle ``payload`` and send it as one length-prefixed frame."""
+    send_frame_raw(sock, pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+
+
+def send_frame_raw(sock: socket.socket, blob: bytes) -> None:
+    """Send an already-pickled payload as one length-prefixed frame."""
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Receive one frame; returns None on clean EOF between frames."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        raise BackendError("connection closed mid-frame")
+    return pickle.loads(blob)
+
+
+# ----------------------------------------------------------------------
+# the worker agent (server side)
+# ----------------------------------------------------------------------
+class WorkerAgent:
+    """A socket worker: accepts connections, serves chunk requests.
+
+    ``repro-iot worker`` wraps :meth:`serve_forever`; tests use
+    :meth:`start` (a daemon accept thread) and :meth:`stop`.  ``port=0``
+    binds an ephemeral port (read it back from :attr:`address`).
+    ``max_requests`` makes the agent abruptly shut down after serving
+    that many chunks — a deterministic stand-in for a crashed host in
+    the retry tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_requests: Optional[int] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_requests = max_requests
+        #: Chunk requests served so far (across all connections).
+        self.served = 0
+        self._listener: Optional[socket.socket] = None
+        self._connections: List[socket.socket] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+    def bind(self) -> "WorkerAgent":
+        """Bind the listening socket (resolving an ephemeral port)."""
+        if self._listener is None:
+            self._listener = socket.create_server((self.host, self.port))
+            self.port = self._listener.getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` string a :class:`SocketBackend` dials."""
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` is called."""
+        self.bind()
+        listener = self._listener
+        assert listener is not None
+        while not self._stopping:
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._lock:
+                self._connections.append(conn)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+
+    def start(self) -> "WorkerAgent":
+        """Serve in a background daemon thread (for tests/embedding)."""
+        self.bind()
+        self._accept_thread = threading.Thread(
+            target=self.serve_forever, daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Close the listener and every live connection (idempotent)."""
+        self._stopping = True
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            # close() alone does not wake a thread blocked in accept()
+            # on Linux; shutdown() does (and may report ENOTCONN).
+            try:
+                listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            _close_quietly(listener)
+        with self._lock:
+            connections, self._connections = self._connections, []
+        for conn in connections:
+            _close_quietly(conn)
+
+    # -- request handling -------------------------------------------------
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stopping:
+                try:
+                    request = recv_frame(conn)
+                except (OSError, BackendError):
+                    return  # client went away; nothing to answer
+                # Unpicklable requests can raise nearly anything out of
+                # pickle; the agent must answer, not die, so the broad
+                # catch is deliberate here.
+                except Exception as exc:  # repro-lint: disable=err-swallowed-exception
+                    request = ("__bad__", exc)
+                if request is None:
+                    return  # clean end of session
+                reply = self._execute(request)
+                try:
+                    send_frame(conn, reply)
+                except OSError:
+                    return
+                if self._note_served():
+                    return
+
+    def _note_served(self) -> bool:
+        """Count one served chunk; True when the agent should die now."""
+        with self._lock:
+            self.served += 1
+            exhausted = (
+                self.max_requests is not None
+                and self.served >= self.max_requests
+            )
+        if exhausted:
+            self.stop()
+        return exhausted
+
+    @staticmethod
+    def _execute(request: Any) -> Tuple[str, Any]:
+        """Run one decoded request; always returns an (status, payload)."""
+        if (
+            not isinstance(request, tuple)
+            or len(request) != 5
+            or request[0] != "run"
+        ):
+            detail = request[1] if len(request) == 2 else request
+            return (
+                "err",
+                BackendError(f"malformed worker request: {detail!r}"),
+            )
+        _kind, fn, chunk, base_index, labels = request
+        try:
+            return ("ok", _run_chunk_local(fn, chunk, base_index, labels))
+        except ReproError as exc:
+            # run_chunk wraps every task failure in ChunkTaskError, so
+            # this is the normal task-error surface.
+            return ("err", exc)
+        # A malformed chunk (not iterable, bad labels) escapes the
+        # per-task wrapper; the agent must still answer the frame
+        # instead of killing the connection thread.
+        except Exception as exc:  # repro-lint: disable=err-swallowed-exception
+            return ("err", BackendError(f"worker failed to run chunk: {exc!r}"))
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        return
+
+
+# ----------------------------------------------------------------------
+# the backend (client side)
+# ----------------------------------------------------------------------
+class _HostLink:
+    """One persistent connection to one worker agent."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.sock: Optional[socket.socket] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.sock is not None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def connect(self, connect_timeout_s: float, io_timeout_s: float) -> None:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=connect_timeout_s
+        )
+        sock.settimeout(io_timeout_s)
+        self.sock = sock
+
+    def close(self) -> None:
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            _close_quietly(sock)
+
+
+@register_backend("socket")
+class SocketBackend(ExecutionBackend):
+    """Fan batches out to ``repro-iot worker`` agents over TCP.
+
+    ``hosts`` is a ``host:port`` list (string, sequence, or the
+    ``REPRO_BACKEND_HOSTS`` environment variable).  Chunks are pulled
+    from a shared queue by one dispatch thread per connected host
+    (work-stealing); a lost or timed-out host re-queues its chunk for
+    the survivors (``retries`` counts these, bounded per chunk by
+    ``max_chunk_retries``) and the batch only fails when every host is
+    gone.  ``chunk_timeout_s`` is the per-chunk reply deadline — a host
+    that blows it is presumed dead.
+    """
+
+    parallel = True
+    remote = True
+    multi_host = True
+
+    def __init__(
+        self,
+        hosts: Union[str, Sequence[HostSpec]],
+        chunk_timeout_s: float = 300.0,
+        connect_timeout_s: float = 10.0,
+        max_chunk_retries: int = 2,
+    ) -> None:
+        super().__init__()
+        self._links = [
+            _HostLink(host, port) for host, port in parse_hosts(hosts)
+        ]
+        self.chunk_timeout_s = float(chunk_timeout_s)
+        self.connect_timeout_s = float(connect_timeout_s)
+        self.max_chunk_retries = int(max_chunk_retries)
+        #: Connections dropped mid-service (informational).
+        self.hosts_lost = 0
+        self._counter_lock = threading.Lock()
+
+    @classmethod
+    def create(
+        cls, workers: int = 1, hosts: Optional[Sequence[str]] = None
+    ) -> "SocketBackend":
+        """Build from engine options; hosts fall back to the env var."""
+        spec: Union[None, str, Sequence[str]] = hosts
+        if spec is None:
+            spec = os.environ.get(HOSTS_ENV)
+        return cls(hosts=spec)  # parse_hosts raises when spec is None
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        """Whether at least one worker connection is up."""
+        return any(link.alive for link in self._links)
+
+    def open(self) -> "SocketBackend":
+        """Connect every reachable host (idempotent, re-entrant).
+
+        Unreachable hosts are skipped (degraded start, counted in
+        ``hosts_lost``); no reachable host at all raises
+        :class:`BackendError`.
+        """
+        for link in self._links:
+            if link.alive:
+                continue
+            try:
+                link.connect(self.connect_timeout_s, self.chunk_timeout_s)
+            except OSError:
+                self.hosts_lost += 1
+                continue
+            self.spawns += 1
+        if not self.alive:
+            addresses = ", ".join(link.address for link in self._links)
+            raise BackendError(
+                f"no socket worker reachable (tried: {addresses}); start"
+                " agents with `repro-iot worker --port <port>`"
+            )
+        return self
+
+    def close(self) -> None:
+        """Drop every connection (idempotent, never raises)."""
+        for link in self._links:
+            link.close()
+
+    # -- execution -------------------------------------------------------
+    def submit_batch(
+        self,
+        fn: Callable[[ItemT], ResultT],
+        items: Sequence[ItemT],
+        chunk_size: Optional[int] = None,
+        labels: Optional[Sequence[str]] = None,
+    ) -> List[ResultT]:
+        """Run ``fn`` over ``items`` across the worker fleet, in order."""
+        if not items:
+            return []
+        self.open()
+        live = [link for link in self._links if link.alive]
+        size = chunk_size or adaptive_chunk_size(len(items), len(live))
+        plans = self._plan_chunks(items, size, labels)
+        self.tasks += len(items)
+        # Requests are pickled up front: an unpicklable fn/item raises
+        # here, in the caller, instead of looking like N dead hosts.
+        jobs: "Queue[Tuple[int, bytes, int]]" = Queue()
+        for chunk_id, (base_index, chunk, chunk_labels) in enumerate(plans):
+            blob = pickle.dumps(
+                ("run", fn, chunk, base_index, chunk_labels),
+                pickle.HIGHEST_PROTOCOL,
+            )
+            jobs.put((chunk_id, blob, 0))
+        chunk_results: List[Any] = [_UNSET] * len(plans)
+        failures: List[BaseException] = []
+        abort = threading.Event()
+        threads = [
+            threading.Thread(
+                target=self._drain,
+                args=(link, jobs, chunk_results, failures, abort),
+                daemon=True,
+            )
+            for link in live
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        undelivered = sum(
+            1 for result in chunk_results if result is _UNSET
+        )
+        if undelivered:
+            raise BackendError(
+                f"all socket workers lost with {undelivered} chunk(s)"
+                f" undelivered (after {self.retries} retr"
+                f"{'y' if self.retries == 1 else 'ies'})"
+            )
+        results: List[ResultT] = []
+        for chunk_result in chunk_results:
+            results.extend(chunk_result)
+        return results
+
+    def _drain(
+        self,
+        link: _HostLink,
+        jobs: "Queue[Tuple[int, bytes, int]]",
+        chunk_results: List[Any],
+        failures: List[BaseException],
+        abort: threading.Event,
+    ) -> None:
+        """One host's dispatch loop: steal, send, receive, repeat."""
+        while not abort.is_set():
+            try:
+                chunk_id, blob, attempts = jobs.get_nowait()
+            except Empty:
+                return
+            sock = link.sock
+            if sock is None:
+                self._requeue(jobs, chunk_id, blob, attempts, failures, abort)
+                return
+            try:
+                send_frame_raw(sock, blob)
+                with self._counter_lock:
+                    self.dispatches += 1
+                reply = recv_frame(sock)
+            except (OSError, BackendError, pickle.PickleError):
+                self._lose_host(link)
+                self._requeue(jobs, chunk_id, blob, attempts, failures, abort)
+                return
+            if reply is None:  # agent closed the session cleanly
+                self._lose_host(link)
+                self._requeue(jobs, chunk_id, blob, attempts, failures, abort)
+                return
+            status, payload = reply
+            if status == "ok":
+                chunk_results[chunk_id] = payload
+                continue
+            # A task (or the protocol) failed for real: retrying the
+            # same inputs elsewhere cannot help, so abort the batch.
+            failures.append(payload)
+            abort.set()
+            return
+
+    def _lose_host(self, link: _HostLink) -> None:
+        link.close()
+        with self._counter_lock:
+            self.hosts_lost += 1
+
+    def _requeue(
+        self,
+        jobs: "Queue[Tuple[int, bytes, int]]",
+        chunk_id: int,
+        blob: bytes,
+        attempts: int,
+        failures: List[BaseException],
+        abort: threading.Event,
+    ) -> None:
+        """Put a lost chunk back for the surviving hosts (bounded)."""
+        if attempts >= self.max_chunk_retries:
+            failures.append(
+                BackendError(
+                    f"chunk {chunk_id} lost {attempts + 1} times"
+                    " (worker disconnects/timeouts); giving up"
+                )
+            )
+            abort.set()
+            return
+        with self._counter_lock:
+            self.retries += 1
+        jobs.put((chunk_id, blob, attempts + 1))

@@ -19,17 +19,26 @@ def compare_grid(
     engine: Optional[ScenarioEngine] = None,
     workers: int = 1,
     cache_dir: Optional[Any] = None,
+    backend: Optional[str] = None,
+    backend_hosts: Optional[Sequence[str]] = None,
 ) -> Dict[Tuple[str, ...], Dict[str, RunResult]]:
     """Run every app set under every scheme through ONE engine batch.
 
     The whole ``app_sets x schemes`` grid goes through a single
     :meth:`~repro.core.engine.ScenarioEngine.run_batch` call, so one
-    worker pool, one memory cache and one dedup pass serve the entire
-    comparison — instead of a fresh engine (and pool spawn) per scheme.
-    Returns ``{tuple(app_ids): {scheme: result}}`` in input order.
+    execution backend, one memory cache and one dedup pass serve the
+    entire comparison — instead of a fresh engine (and worker spawn)
+    per scheme.  ``backend``/``backend_hosts`` choose where the grid
+    executes (results are bit-identical across backends).  Returns
+    ``{tuple(app_ids): {scheme: result}}`` in input order.
     """
     owns_engine = engine is None
-    engine = engine or ScenarioEngine(workers=workers, cache_dir=cache_dir)
+    engine = engine or ScenarioEngine(
+        workers=workers,
+        cache_dir=cache_dir,
+        backend=backend,
+        backend_hosts=backend_hosts,
+    )
     keys = [tuple(app_ids) for app_ids in app_sets]
     scenarios = [
         Scenario.of(
@@ -67,6 +76,8 @@ def compare_schemes(
     engine: Optional[ScenarioEngine] = None,
     workers: int = 1,
     cache_dir=None,
+    backend: Optional[str] = None,
+    backend_hosts: Optional[Sequence[str]] = None,
 ) -> Dict[str, RunResult]:
     """Run the same apps under several schemes; returns results by scheme.
 
@@ -85,6 +96,8 @@ def compare_schemes(
         engine=engine,
         workers=workers,
         cache_dir=cache_dir,
+        backend=backend,
+        backend_hosts=backend_hosts,
     )
     return grid[tuple(app_ids)]
 

@@ -18,13 +18,17 @@ orthogonal ways:
   and serial runs of the same point are bit-identical.  Failure
   injection disables canonicalization (availability draws key off read
   order), so those scenarios always run as given.
-* **Fan-out** — independent scenarios run concurrently on a persistent
-  :class:`~repro.core.pool.WorkerPool` (``workers=N``): spawned lazily
-  once, reused across ``run_sweep``/``compare_schemes`` calls, with
-  chunked dispatch so thousands of small scenarios don't pay one IPC
-  round-trip each.
+* **Fan-out** — independent scenarios run through a pluggable
+  :class:`~repro.core.backends.ExecutionBackend` chosen by name
+  (``backend="serial" | "process" | "socket"``, or the
+  ``REPRO_BACKEND`` environment variable; the default follows the
+  historical heuristic — a persistent process pool when ``workers>1``,
+  inline execution otherwise).  Backends own *where* tasks run; the
+  engine keeps *what* runs (fingerprints, dedup, the two-tier cache)
+  backend-independent, so grid results are bit-identical across
+  backends.
 
-Both cache and fan-out paths strip the live
+Cache and remote-backend paths strip the live
 :class:`~repro.hw.board.IoTHub` from the result (it holds running
 generators and is neither picklable nor meaningful outside the run);
 in-process serial runs keep it attached, preserving the historical
@@ -42,8 +46,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ReproError
 from ..obs.metrics import EngineMetrics
+from .backends import ExecutionBackend, create_backend, run_chunk
 from .cache import DiskResultCache, LRUResultCache, TieredResultCache
-from .pool import WorkerPool
 from .results import RunResult
 from .scenario import Scenario
 from .schemes.base import execute_scenario
@@ -165,15 +169,23 @@ def strip_hub(result: RunResult) -> RunResult:
     return dataclasses.replace(result, hub=None)
 
 
-def _run_remote(
-    item: Tuple[int, Scenario, bool]
-) -> Tuple[int, Optional[RunResult], Optional[ReproError], Tuple[int, float]]:
-    """Pool worker: run one scenario, capturing only library errors.
+#: One dispatched unit: (pending position, scenario, fast_forward flag).
+_Task = Tuple[int, Scenario, bool]
+#: One runner outcome: position, result-or-None, error-or-None, and the
+#: (pid, wall_seconds) pair feeding the engine's per-worker accounting.
+_TaskOutcome = Tuple[
+    int, Optional[RunResult], Optional[ReproError], Tuple[int, float]
+]
 
-    Unexpected exceptions propagate through ``future.result()`` so real
-    bugs surface in the parent instead of hiding in sweep output.  The
-    trailing ``(pid, wall_seconds)`` pair feeds the engine's per-worker
-    accounting.
+
+def _run_remote(item: _Task) -> _TaskOutcome:
+    """Remote-backend task: run one scenario, capturing library errors.
+
+    Results are stripped of their live hub (they cross a process/host
+    boundary and must pickle).  Unexpected exceptions propagate — as a
+    :class:`~repro.errors.ChunkTaskError` naming the failing scenario —
+    so real bugs surface in the parent instead of hiding in sweep
+    output.
     """
     index, scenario, fast_forward = item
     started = time.perf_counter()
@@ -188,17 +200,46 @@ def _run_remote(
     return index, result, error, (os.getpid(), elapsed)
 
 
+def _run_local(item: _Task) -> _TaskOutcome:
+    """In-process task: like :func:`_run_remote`, keeping the live hub."""
+    index, scenario, fast_forward = item
+    started = time.perf_counter()
+    try:
+        result: Optional[RunResult] = execute_scenario(
+            scenario, fast_forward=fast_forward
+        )
+        error: Optional[ReproError] = None
+    except ReproError as exc:
+        result, error = None, exc
+    elapsed = time.perf_counter() - started
+    return index, result, error, (os.getpid(), elapsed)
+
+
+def _scenario_label(scenario: Scenario) -> str:
+    """Human-readable task label for backend failure attribution."""
+    apps = "+".join(app.table2_id for app in scenario.apps)
+    base = f"{scenario.scheme}[{apps}]"
+    name = getattr(scenario, "name", "")
+    return f"{name}: {base}" if name else base
+
+
 #: One batch outcome: a result, or the ReproError that stopped the point.
 Outcome = Union[RunResult, ReproError]
 
 
 class ScenarioEngine:
-    """Runs scenarios through the two-tier cache, dedup and worker pool.
+    """Runs scenarios through the two-tier cache, dedup and a backend.
 
-    ``workers=1`` executes in-process (results keep their hub attached);
-    ``workers>1`` fans independent scenarios out over a persistent
-    process pool (spawned lazily, reused across calls — use the engine
-    as a context manager, or call :meth:`close`, to shut it down).
+    ``backend`` names the :class:`~repro.core.backends.ExecutionBackend`
+    batches dispatch through (``"serial"``, ``"process"``, ``"socket"``,
+    or any registered name; ``backend_hosts`` configures multi-host
+    backends).  When omitted, ``$REPRO_BACKEND`` applies, then the
+    historical heuristic: ``workers=1`` executes in-process (results
+    keep their hub attached); ``workers>1`` fans independent scenarios
+    out over a persistent process pool (spawned lazily, reused across
+    calls — use the engine as a context manager, or call :meth:`close`,
+    to shut it down).  Grid results are bit-identical whatever the
+    backend; only where the simulation runs changes.
     ``cache_dir`` enables the sharded on-disk result cache with an
     in-memory LRU in front of it (``memory_cache`` overrides the LRU
     capacity; pass a capacity without ``cache_dir`` for a memory-only
@@ -221,9 +262,14 @@ class ScenarioEngine:
         dedup: bool = True,
         memory_cache: Optional[int] = None,
         cache_max_bytes: Optional[int] = None,
+        backend: Optional[str] = None,
+        backend_hosts: Optional[Sequence[str]] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        # close() must be safe on a partially-constructed engine (a bad
+        # backend name raises below), so the slot exists from the start.
+        self._backend: Optional[ExecutionBackend] = None
         self.workers = int(workers)
         self.fast_forward = bool(fast_forward)
         self.dedup = bool(dedup)
@@ -240,20 +286,36 @@ class ScenarioEngine:
                 else None
             ),
         )
-        self._pool: Optional[WorkerPool] = None
         #: Wall-clock instrumentation: cache traffic per tier, dedup
-        #: fan-outs, pool reuse, fingerprint cost, per-worker time.
+        #: fan-outs, backend dispatch, fingerprint cost, per-worker time.
         self.metrics = EngineMetrics()
-        #: Maps a pool worker's pid to its stable ``w<N>`` label.
+        #: Maps a worker's pid to its stable ``w<N>`` label.
         self._worker_labels: Dict[int, str] = {}
+        self._backend = create_backend(
+            backend, workers=self.workers, hosts=backend_hosts
+        )
+        self.metrics.backend_name = self._backend.name
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend batches dispatch through."""
+        assert self._backend is not None
+        return self._backend
+
     def close(self) -> None:
-        """Shut the persistent worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
+        """Release the backend's workers/connections.
+
+        Idempotent, safe on a partially-constructed engine (failed
+        backend spawn), and never raises — CLI/``atexit`` paths may
+        double-close.  The backend reopens transparently on the next
+        batch.
+        """
+        backend = getattr(self, "_backend", None)
+        if backend is not None:
+            backend.close()
 
     def __enter__(self) -> "ScenarioEngine":
         return self
@@ -325,11 +387,19 @@ class ScenarioEngine:
         else:
             self.metrics.cache_disk_hits += count
 
-    def _sync_pool_metrics(self) -> None:
-        if self._pool is not None:
-            self.metrics.pool_spawns = self._pool.spawns
-            self.metrics.pool_dispatches = self._pool.dispatches
-            self.metrics.pool_tasks = self._pool.tasks
+    def _sync_backend_metrics(self) -> None:
+        backend = self._backend
+        if backend is None:
+            return
+        self.metrics.backend_name = backend.name
+        self.metrics.backend_spawns = backend.spawns
+        self.metrics.backend_dispatches = backend.dispatches
+        self.metrics.backend_tasks = backend.tasks
+        self.metrics.backend_retries = backend.retries
+        # Historical pool_* aliases, kept for older dashboards/tests.
+        self.metrics.pool_spawns = backend.spawns
+        self.metrics.pool_dispatches = backend.dispatches
+        self.metrics.pool_tasks = backend.tasks
 
     # ------------------------------------------------------------------
     # execution
@@ -403,38 +473,40 @@ class ScenarioEngine:
                         )
                     continue
             pending.append((key, self._execution_form(scenarios[indices[0]])))
-        # Simulation pass: one execution per surviving group.
+        # Simulation pass: one execution per surviving group, through
+        # the backend.  A parallel backend with a single surviving point
+        # short-circuits inline (no dispatch is worth one task), which
+        # also keeps that result's live hub attached.
         executed: Dict[str, Tuple[Optional[RunResult], Optional[ReproError]]]
         executed = {}
-        if self.workers > 1 and len(pending) > 1:
-            if self._pool is None:
-                self._pool = WorkerPool(self.workers)
-            for position, result, error, (pid, elapsed) in self._pool.map(
-                _run_remote,
-                [
-                    (position, scenario, self.fast_forward)
-                    for position, (_key, scenario) in enumerate(pending)
-                ],
-            ):
+        backend = self.backend
+        if pending:
+            outcomes_iter: Sequence[_TaskOutcome]
+            if backend.parallel and len(pending) == 1:
+                # run_chunk keeps error attribution identical to the
+                # dispatched path (task bugs surface as ChunkTaskError).
+                outcomes_iter = run_chunk(
+                    _run_local,
+                    [(0, pending[0][1], self.fast_forward)],
+                    0,
+                    [_scenario_label(pending[0][1])],
+                )
+            else:
+                runner = _run_remote if backend.remote else _run_local
+                outcomes_iter = backend.submit_batch(
+                    runner,
+                    [
+                        (position, scenario, self.fast_forward)
+                        for position, (_key, scenario) in enumerate(pending)
+                    ],
+                    labels=[
+                        _scenario_label(scenario) for _key, scenario in pending
+                    ],
+                )
+            for position, result, error, (pid, elapsed) in outcomes_iter:
                 executed[pending[position][0]] = (result, error)
                 self.metrics.note_worker(self._worker_label(pid), elapsed)
-            self._sync_pool_metrics()
-        else:
-            for key, scenario in pending:
-                sim_started = time.perf_counter()
-                try:
-                    executed[key] = (
-                        execute_scenario(
-                            scenario, fast_forward=self.fast_forward
-                        ),
-                        None,
-                    )
-                except ReproError as exc:
-                    executed[key] = (None, exc)
-                self.metrics.note_worker(
-                    self._worker_label(os.getpid()),
-                    time.perf_counter() - sim_started,
-                )
+            self._sync_backend_metrics()
         self.metrics.scenarios_run += len(pending)
         # Fan-out pass: publish to caches, deliver to every member.
         for key, _scenario in pending:

@@ -1,142 +1,29 @@
-"""Persistent worker-pool plumbing for the scenario engine.
+"""Backward-compatibility shim for the pre-backend pool module.
 
-``concurrent.futures.ProcessPoolExecutor`` is the right fan-out
-primitive, but the seed engine paid for it badly: every
-``run_batch`` call forked a fresh pool (worker startup dominating short
-sweeps) and shipped one pickled scenario per task (one IPC round-trip
-per grid point).  :class:`WorkerPool` fixes both:
-
-* **Persistence** — the executor is spawned lazily on the first
-  parallel batch and reused for every later one, across
-  ``run_sweep``/``compare_schemes``/CLI calls on the same engine.
-  ``spawns`` counts executor creations, so tests can assert the pool
-  was built exactly once.
-* **Chunked dispatch** — tasks are grouped into chunks sized by
-  :func:`adaptive_chunk_size` (a few chunks per worker: large enough to
-  amortize IPC, small enough to load-balance), and each chunk is one
-  ``submit`` call.
-
-The pool is deliberately dumb about *what* it runs: the engine hands it
-a picklable per-item function.  Results come back in item order.
+The persistent process pool grew into a pluggable execution-backend
+layer (:mod:`repro.core.backends`): the pool itself moved, behavior
+unchanged, to :class:`repro.core.backends.process.ProcessPoolBackend`,
+and the chunking helpers to :mod:`repro.core.backends.base`.  This
+module keeps the old import surface alive — ``WorkerPool`` is now an
+alias of the process backend (whose :meth:`map` preserves the old
+entry point) — so external callers and older scripts keep working.
+New code should import from :mod:`repro.core.backends` directly.
 """
 
 from __future__ import annotations
 
-import math
-from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Callable, List, Optional, Sequence, TypeVar
+from .backends.base import (
+    CHUNKS_PER_WORKER,
+    adaptive_chunk_size,
+    chunked,
+)
+from .backends.base import run_chunk as _run_chunk
+from .backends.process import ProcessPoolBackend as WorkerPool
 
-ItemT = TypeVar("ItemT")
-ResultT = TypeVar("ResultT")
-
-#: Target number of chunks each worker should receive: >1 so a slow
-#: chunk cannot serialize the whole batch behind one worker, small so
-#: thousands of tiny scenarios still travel in few IPC round-trips.
-CHUNKS_PER_WORKER = 4
-
-
-def adaptive_chunk_size(
-    task_count: int, workers: int, chunks_per_worker: int = CHUNKS_PER_WORKER
-) -> int:
-    """Chunk size giving each worker about ``chunks_per_worker`` chunks.
-
-    Grows with the batch (1000 tasks on 4 workers -> 63-task chunks, 16
-    IPC dispatches instead of 1000) and degrades gracefully for small
-    batches (fewer tasks than workers -> one task per chunk).
-    """
-    if task_count <= 0:
-        return 1
-    if workers < 1:
-        raise ValueError(f"need at least one worker, got {workers}")
-    return max(1, math.ceil(task_count / (workers * chunks_per_worker)))
-
-
-def chunked(items: Sequence[ItemT], size: int) -> List[Sequence[ItemT]]:
-    """Split a sequence into consecutive chunks of at most ``size``."""
-    if size < 1:
-        raise ValueError(f"chunk size must be >= 1, got {size}")
-    return [items[start : start + size] for start in range(0, len(items), size)]
-
-
-def _run_chunk(
-    fn: Callable[[Any], Any], chunk: Sequence[Any]
-) -> List[Any]:
-    """Worker-side loop: apply ``fn`` to every item of one chunk.
-
-    Exceptions propagate through ``Future.result()`` so a real bug in
-    one item aborts the batch in the parent instead of disappearing.
-    """
-    return [fn(item) for item in chunk]
-
-
-class WorkerPool:
-    """A lazily-spawned, reusable process pool with chunked dispatch.
-
-    Use as a context manager, or call :meth:`close` explicitly; a closed
-    pool respawns transparently on the next :meth:`map` (counted in
-    ``spawns``).
-    """
-
-    def __init__(self, max_workers: int) -> None:
-        if max_workers < 1:
-            raise ValueError(f"need at least one worker, got {max_workers}")
-        self.max_workers = int(max_workers)
-        self._executor: Optional[ProcessPoolExecutor] = None
-        #: Times an executor was created (1 == perfect reuse).
-        self.spawns = 0
-        #: Chunks submitted (each one IPC round-trip).
-        self.dispatches = 0
-        #: Individual tasks shipped inside those chunks.
-        self.tasks = 0
-
-    @property
-    def alive(self) -> bool:
-        """Whether an executor is currently running."""
-        return self._executor is not None
-
-    def _ensure_executor(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.max_workers
-            )
-            self.spawns += 1
-        return self._executor
-
-    def map(
-        self,
-        fn: Callable[[ItemT], ResultT],
-        items: Sequence[ItemT],
-        chunk_size: Optional[int] = None,
-    ) -> List[ResultT]:
-        """Run ``fn`` over ``items`` on the pool; results in item order.
-
-        ``fn`` and every item must be picklable.  ``chunk_size`` defaults
-        to :func:`adaptive_chunk_size` for the batch.
-        """
-        if not items:
-            return []
-        executor = self._ensure_executor()
-        size = chunk_size or adaptive_chunk_size(
-            len(items), self.max_workers
-        )
-        futures: List["Future[List[ResultT]]"] = []
-        for chunk in chunked(items, size):
-            futures.append(executor.submit(_run_chunk, fn, chunk))
-            self.dispatches += 1
-            self.tasks += len(chunk)
-        results: List[ResultT] = []
-        for future in futures:
-            results.extend(future.result())
-        return results
-
-    def close(self) -> None:
-        """Shut the executor down (idempotent); workers exit cleanly."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-
-    def __enter__(self) -> "WorkerPool":
-        return self
-
-    def __exit__(self, *_exc_info: object) -> None:
-        self.close()
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "WorkerPool",
+    "adaptive_chunk_size",
+    "chunked",
+    "_run_chunk",
+]

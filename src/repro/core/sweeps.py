@@ -11,7 +11,17 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..errors import ReproError
 from .engine import ScenarioEngine
@@ -85,6 +95,8 @@ def run_sweep(
     engine: Optional[ScenarioEngine] = None,
     dedup: bool = True,
     cache_max_bytes: Optional[int] = None,
+    backend: Optional[str] = None,
+    backend_hosts: Optional[Sequence[str]] = None,
 ) -> Sweep:
     """Run ``scenario_factory(**params)`` for every grid point.
 
@@ -93,13 +105,16 @@ def run_sweep(
     always propagate — a :class:`TypeError` in a factory or a bug inside
     the simulator aborts the sweep instead of hiding in point errors.
 
-    ``workers`` fans independent points out over a process pool (those
-    results come back without their live hub); ``cache_dir`` memoizes
+    ``workers``/``backend``/``backend_hosts`` choose the execution
+    backend independent points fan out over — a local process pool, a
+    multi-host socket fleet, or inline execution (remote backends
+    return results without their live hub); ``cache_dir`` memoizes
     results on disk by scenario fingerprint (``cache_max_bytes`` caps
     that cache, evicting oldest entries first); ``dedup`` lets grid
     points that are app-order permutations of each other simulate once.
-    Pass a pre-built ``engine`` to share one cache/pool/memory-LRU
-    configuration across sweeps — the pool then persists between calls.
+    Pass a pre-built ``engine`` to share one cache/backend/memory-LRU
+    configuration across sweeps — its workers then persist between
+    calls.
     """
     owns_engine = engine is None
     engine = engine or ScenarioEngine(
@@ -107,6 +122,8 @@ def run_sweep(
         cache_dir=cache_dir,
         dedup=dedup,
         cache_max_bytes=cache_max_bytes,
+        backend=backend,
+        backend_hosts=backend_hosts,
     )
     points: List[SweepPoint] = []
     pending: List[Tuple[int, Scenario]] = []

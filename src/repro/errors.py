@@ -51,5 +51,33 @@ class WorkloadError(ReproError):
     """A workload/scenario definition is inconsistent."""
 
 
+class BackendError(ReproError):
+    """An execution backend was misconfigured or lost its workers."""
+
+
+class ChunkTaskError(BackendError):
+    """A task inside a dispatched chunk raised a non-library exception.
+
+    Raised worker-side by the chunked-dispatch loop so the parent learns
+    *which* item failed: ``index`` is the batch-global item position and
+    ``label`` the caller-supplied description of that item (the engine
+    passes the scenario's scheme/apps).  The original exception is the
+    ``__cause__`` where the process boundary preserves it; its ``repr``
+    is always embedded in the message.
+    """
+
+    def __init__(
+        self, message: str, index: int = -1, label: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.label = label
+
+    def __reduce__(self):
+        # Exceptions pickle through their constructor args; carry the
+        # attribution attributes across process/socket boundaries too.
+        return (type(self), (self.args[0], self.index, self.label))
+
+
 class ProtocolError(ReproError):
     """A protocol codec (CoAP, Blynk, M2X, JSON) rejected a message."""

@@ -116,11 +116,23 @@ class EngineMetrics:
     #: Grid points served by fanning out another point's simulation
     #: (permutation-equivalent scenarios deduplicated pre-execution).
     dedup_hits: int = 0
-    #: Worker-pool executors created (1 == perfect pool reuse).
-    pool_spawns: int = 0
-    #: Chunks shipped to the pool (each one IPC round-trip).
-    pool_dispatches: int = 0
+    #: Name of the execution backend the engine dispatched through.
+    backend_name: str = ""
+    #: Workers/processes/connections the backend brought up
+    #: (1 == perfect reuse for the process pool).
+    backend_spawns: int = 0
+    #: Chunks dispatched to the backend (each one round-trip).
+    backend_dispatches: int = 0
     #: Individual scenarios shipped inside those chunks.
+    backend_tasks: int = 0
+    #: Chunks re-dispatched after a lost worker or timed-out reply
+    #: (only multi-host backends can make this non-zero).
+    backend_retries: int = 0
+    #: Legacy alias of ``backend_spawns`` (pre-backend dashboards).
+    pool_spawns: int = 0
+    #: Legacy alias of ``backend_dispatches``.
+    pool_dispatches: int = 0
+    #: Legacy alias of ``backend_tasks``.
     pool_tasks: int = 0
     #: Scenarios actually simulated (cache and dedup hits excluded).
     scenarios_run: int = 0
@@ -153,6 +165,11 @@ class EngineMetrics:
             "cache_memory_hits": self.cache_memory_hits,
             "cache_disk_hits": self.cache_disk_hits,
             "dedup_hits": self.dedup_hits,
+            "backend_name": self.backend_name,
+            "backend_spawns": self.backend_spawns,
+            "backend_dispatches": self.backend_dispatches,
+            "backend_tasks": self.backend_tasks,
+            "backend_retries": self.backend_retries,
             "pool_spawns": self.pool_spawns,
             "pool_dispatches": self.pool_dispatches,
             "pool_tasks": self.pool_tasks,
@@ -184,12 +201,16 @@ class EngineMetrics:
                 f"dedup: {self.dedup_hits} point(s) fanned out from "
                 "equivalent simulations"
             )
-        if self.pool_spawns:
-            lines.append(
-                f"pool: {self.pool_spawns} spawn(s), "
-                f"{self.pool_dispatches} dispatch(es), "
-                f"{self.pool_tasks} task(s)"
+        if self.backend_dispatches:
+            name = self.backend_name or "?"
+            line = (
+                f"backend[{name}]: {self.backend_spawns} spawn(s), "
+                f"{self.backend_dispatches} dispatch(es), "
+                f"{self.backend_tasks} task(s)"
             )
+            if self.backend_retries:
+                line += f", {self.backend_retries} retried chunk(s)"
+            lines.append(line)
         if self.worker_wall_s:
             shares = "  ".join(
                 f"{worker}={seconds:.3f}s"

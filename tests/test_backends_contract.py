@@ -1,0 +1,375 @@
+"""Cross-backend conformance suite for the execution-backend layer.
+
+Every registered backend must honor the same contract: ordered results,
+attributed error propagation, exact scheduling counters, an idempotent
+close/reopen lifecycle — and, through the engine, grid results that are
+bit-identical to an inline (serial) run.  The suite is parametrized
+over every stock backend so a new implementation inherits the whole
+checklist by adding one ``_BACKEND_FIXTURES`` entry.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.core import Scenario, ScenarioEngine, Scheme, compare_grid
+from repro.core.backends import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    SocketBackend,
+    WorkerAgent,
+    backend_names,
+    create_backend,
+    default_backend_name,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.engine import strip_hub
+from repro.errors import BackendError, ChunkTaskError
+
+
+def _square(value):
+    return value * value
+
+
+def _slow_square(value):
+    time.sleep(0.02)  # keeps every socket worker busy long enough to
+    return value * value  # guarantee the doomed host steals some chunks
+
+
+def _boom_on_five(value):
+    if value == 5:
+        raise ValueError("boom")
+    return value
+
+
+# ----------------------------------------------------------------------
+# backend construction, parametrized over the registry
+# ----------------------------------------------------------------------
+class _BackendHarness:
+    """One ready-to-use backend plus whatever infrastructure it needs."""
+
+    def __init__(self, backend, agents=()):
+        self.backend = backend
+        self.agents = list(agents)
+
+    def shutdown(self):
+        self.backend.close()
+        for agent in self.agents:
+            agent.stop()
+
+
+def _serial_harness():
+    return _BackendHarness(SerialBackend())
+
+
+def _process_harness():
+    return _BackendHarness(ProcessPoolBackend(max_workers=2))
+
+
+def _socket_harness():
+    agents = [WorkerAgent().start() for _ in range(2)]
+    backend = SocketBackend(hosts=[agent.address for agent in agents])
+    return _BackendHarness(backend, agents)
+
+
+_BACKEND_FIXTURES = {
+    "serial": _serial_harness,
+    "process": _process_harness,
+    "socket": _socket_harness,
+}
+
+
+def test_suite_covers_every_registered_backend():
+    """A new stock backend must join this conformance suite."""
+    assert set(backend_names()) == set(_BACKEND_FIXTURES)
+
+
+@pytest.fixture(params=sorted(_BACKEND_FIXTURES))
+def harness(request):
+    built = _BACKEND_FIXTURES[request.param]()
+    yield built
+    built.shutdown()
+
+
+# ----------------------------------------------------------------------
+# ordering and counters
+# ----------------------------------------------------------------------
+def test_results_come_back_in_item_order(harness):
+    backend = harness.backend
+    items = list(range(25))
+    assert backend.submit_batch(_square, items, chunk_size=4) == [
+        value * value for value in items
+    ]
+    # Counter exactness: 25 tasks in ceil(25/4) = 7 dispatched chunks.
+    assert backend.tasks == 25
+    assert backend.dispatches == 7
+    assert backend.retries == 0
+    if backend.parallel:
+        assert backend.spawns >= 1
+    else:
+        assert backend.spawns == 0
+
+
+def test_empty_batch_is_free(harness):
+    backend = harness.backend
+    assert backend.submit_batch(_square, []) == []
+    assert backend.spawns == 0
+    assert backend.tasks == 0
+    assert backend.dispatches == 0
+
+
+def test_map_is_a_submit_batch_alias(harness):
+    assert harness.backend.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+
+# ----------------------------------------------------------------------
+# error propagation with attribution
+# ----------------------------------------------------------------------
+def test_task_errors_carry_index_and_label(harness):
+    backend = harness.backend
+    labels = [f"point-{value}" for value in range(8)]
+    with pytest.raises(ChunkTaskError, match="boom") as excinfo:
+        backend.submit_batch(
+            _boom_on_five, list(range(8)), chunk_size=2, labels=labels
+        )
+    assert excinfo.value.index == 5
+    assert excinfo.value.label == "point-5"
+    # A genuine task failure is never retried, on any backend.
+    assert backend.retries == 0
+
+
+def test_backend_stays_usable_after_a_task_error(harness):
+    backend = harness.backend
+    with pytest.raises(ChunkTaskError):
+        backend.submit_batch(_boom_on_five, list(range(8)), chunk_size=2)
+    assert backend.submit_batch(_square, [3, 4]) == [9, 16]
+
+
+def test_chunk_task_error_survives_pickling():
+    error = ChunkTaskError("task 7 (pt) failed", index=7, label="pt")
+    clone = pickle.loads(pickle.dumps(error))
+    assert isinstance(clone, ChunkTaskError)
+    assert (clone.index, clone.label) == (7, "pt")
+    assert str(clone) == str(error)
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_close_is_idempotent_and_reopens_transparently(harness):
+    backend = harness.backend
+    assert backend.submit_batch(_square, [2]) == [4]
+    backend.close()
+    backend.close()  # double-close must never raise
+    assert not backend.alive or not backend.parallel
+    assert backend.submit_batch(_square, [3]) == [9]  # transparent reopen
+
+
+def test_close_before_any_batch_is_safe(harness):
+    harness.backend.close()  # nothing spawned yet
+    assert harness.backend.spawns == 0
+
+
+def test_context_manager_closes(harness):
+    backend = harness.backend
+    with backend as entered:
+        assert entered is backend
+        assert backend.submit_batch(_square, [5]) == [25]
+    if backend.parallel:
+        assert not backend.alive
+
+
+# ----------------------------------------------------------------------
+# engine integration: bit-identical grids on every backend
+# ----------------------------------------------------------------------
+def _result_signature(result):
+    """Every deterministic field of a result, hub stripped."""
+    bare = strip_hub(result)
+    return (
+        bare.scenario_name,
+        bare.scheme,
+        bare.app_ids,
+        bare.windows,
+        bare.duration_s,
+        bare.energy.total_j,
+        bare.energy.marginal_j,
+        bare.busy_times,
+        bare.result_times,
+        bare.qos_violations,
+        bare.interrupt_count,
+        bare.cpu_wake_count,
+        bare.bus_bytes,
+    )
+
+
+_GRID_APP_SETS = [["A2"], ["A4", "A5"], ["A5", "A4"]]
+_GRID_SCHEMES = [Scheme.BASELINE, Scheme.BATCHING]
+
+
+def _grid_signatures(engine):
+    grid = compare_grid(_GRID_APP_SETS, _GRID_SCHEMES, engine=engine)
+    return {
+        (key, scheme): _result_signature(result)
+        for key, per_scheme in grid.items()
+        for scheme, result in per_scheme.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_grid_signatures():
+    with ScenarioEngine(backend="serial") as engine:
+        return _grid_signatures(engine)
+
+
+def test_engine_grid_bit_identical_across_backends(
+    harness, serial_grid_signatures
+):
+    backend = harness.backend
+    hosts = [agent.address for agent in harness.agents] or None
+    with ScenarioEngine(
+        workers=2, backend=backend.name, backend_hosts=hosts
+    ) as engine:
+        assert _grid_signatures(engine) == serial_grid_signatures
+        assert engine.metrics.backend_name == backend.name
+
+
+# ----------------------------------------------------------------------
+# socket backend specifics: worker loss, retry, degradation
+# ----------------------------------------------------------------------
+def test_socket_redispatches_chunks_from_a_killed_worker():
+    # The doomed agent abruptly shuts down after ONE chunk (its listener
+    # and connections close mid-batch), deterministically exercising the
+    # lost-host path; the surviving agent absorbs the re-queued chunks.
+    survivor = WorkerAgent().start()
+    doomed = WorkerAgent(max_requests=1).start()
+    backend = SocketBackend(hosts=[survivor.address, doomed.address])
+    try:
+        items = list(range(12))
+        assert backend.submit_batch(_slow_square, items, chunk_size=1) == [
+            value * value for value in items
+        ]
+        assert backend.retries >= 1
+        assert backend.hosts_lost >= 1
+        assert backend.tasks == 12
+    finally:
+        backend.close()
+        survivor.stop()
+        doomed.stop()
+
+
+def test_socket_raises_when_every_host_is_lost():
+    doomed = WorkerAgent(max_requests=1).start()
+    backend = SocketBackend(hosts=[doomed.address])
+    try:
+        with pytest.raises(BackendError, match="lost"):
+            backend.submit_batch(_slow_square, list(range(6)), chunk_size=1)
+    finally:
+        backend.close()
+        doomed.stop()
+
+
+def test_socket_needs_hosts(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND_HOSTS", raising=False)
+    with pytest.raises(BackendError, match="hosts"):
+        create_backend("socket")
+
+
+def test_socket_hosts_come_from_the_environment(monkeypatch):
+    agent = WorkerAgent().start()
+    monkeypatch.setenv("REPRO_BACKEND_HOSTS", agent.address)
+    backend = create_backend("socket")
+    try:
+        assert backend.submit_batch(_square, [6]) == [36]
+    finally:
+        backend.close()
+        agent.stop()
+
+
+def test_socket_connects_only_reachable_hosts():
+    agent = WorkerAgent().start()
+    backend = SocketBackend(
+        hosts=[agent.address, "127.0.0.1:1"], connect_timeout_s=0.25
+    )
+    try:
+        assert backend.submit_batch(_square, [2, 3]) == [4, 9]
+        assert backend.spawns == 1  # degraded start: one live host
+        assert backend.hosts_lost == 1
+    finally:
+        backend.close()
+        agent.stop()
+
+
+def test_socket_rejects_malformed_host_specs():
+    with pytest.raises(BackendError, match="host:port"):
+        SocketBackend(hosts="localhost")
+    with pytest.raises(BackendError, match="port"):
+        SocketBackend(hosts="localhost:not-a-port")
+
+
+# ----------------------------------------------------------------------
+# registry and default resolution
+# ----------------------------------------------------------------------
+def test_unknown_backend_name_is_an_error():
+    with pytest.raises(BackendError, match="unknown backend"):
+        create_backend("warp-drive")
+
+
+def test_default_backend_follows_workers(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert default_backend_name(1) == "serial"
+    assert default_backend_name(4) == "process"
+
+
+def test_env_var_overrides_the_default(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "serial")
+    assert default_backend_name(8) == "serial"
+    engine = ScenarioEngine(workers=8)
+    try:
+        assert engine.backend.name == "serial"
+    finally:
+        engine.close()
+
+
+def test_explicit_backend_beats_the_env_var(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "process")
+    engine = ScenarioEngine(backend="serial")
+    try:
+        assert engine.backend.name == "serial"
+    finally:
+        engine.close()
+
+
+def test_third_party_backends_register_and_resolve():
+    @register_backend("inline-twin")
+    class InlineTwin(SerialBackend):
+        pass
+
+    try:
+        backend = create_backend("inline-twin")
+        assert isinstance(backend, InlineTwin)
+        assert backend.name == "inline-twin"
+        assert backend.submit_batch(_square, [4]) == [16]
+    finally:
+        unregister_backend("inline-twin")
+    assert "inline-twin" not in backend_names()
+
+
+def test_engine_close_safe_after_failed_backend_construction():
+    engine = None
+    try:
+        engine = ScenarioEngine(backend="warp-drive")
+    except BackendError:
+        pass
+    assert engine is None
+    # Simulate the CLI/atexit double-close pattern on a real engine.
+    engine = ScenarioEngine(backend="serial")
+    engine.close()
+    engine.close()
+
+
+def test_base_class_requires_submit_batch():
+    with pytest.raises(NotImplementedError):
+        ExecutionBackend().submit_batch(_square, [1])

@@ -69,8 +69,13 @@ def test_sweep_propagates_programming_errors_in_factory():
 
 
 def test_sweep_propagates_programming_errors_in_run(monkeypatch):
-    """A bug inside the simulator aborts the sweep instead of hiding."""
+    """A bug inside the simulator aborts the sweep instead of hiding.
+
+    The backend layer attributes it: the raised ChunkTaskError names
+    the failing scenario and chains the original exception.
+    """
     import repro.core.engine as engine_module
+    from repro.errors import ChunkTaskError
 
     def exploding(scenario, **kwargs):
         raise RuntimeError("simulated bug")
@@ -84,8 +89,9 @@ def test_sweep_propagates_programming_errors_in_run(monkeypatch):
             batch_size=batch_size,
         )
 
-    with pytest.raises(RuntimeError):
+    with pytest.raises(ChunkTaskError, match="simulated bug") as excinfo:
         run_sweep(grid_of(batch_size=[100]), factory)
+    assert "batching[A2]" in str(excinfo.value)  # names the scenario
 
 
 def test_sweep_records_merge_params_and_metrics():

@@ -290,9 +290,13 @@ def test_pool_persists_across_batches():
         Scenario.of([app_id], scheme=Scheme.BASELINE)
         for app_id in ("A2", "A3")
     ]
-    with ScenarioEngine(workers=2) as engine:
+    # Explicit backend: the assertion is about process-pool reuse, so it
+    # must hold even when $REPRO_BACKEND selects another default.
+    with ScenarioEngine(workers=2, backend="process") as engine:
         engine.run_batch(grid)
         assert engine.metrics.pool_spawns == 1
+        assert engine.metrics.backend_name == "process"
+        assert engine.metrics.backend_spawns == 1
         more = [
             Scenario.of([app_id], scheme=Scheme.BEAM)
             for app_id in ("A2", "A3")

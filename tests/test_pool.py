@@ -1,8 +1,20 @@
-"""Tests for the persistent worker pool and its chunked dispatch."""
+"""Tests for the persistent worker pool and its chunked dispatch.
+
+``WorkerPool`` is now the compatibility alias of
+``repro.core.backends.process.ProcessPoolBackend``; these tests pin the
+old import surface and behavior.  The cross-backend contract lives in
+``tests/test_backends_contract.py``.
+"""
 
 import pytest
 
+from repro.core.backends import ProcessPoolBackend
 from repro.core.pool import WorkerPool, adaptive_chunk_size, chunked
+from repro.errors import ChunkTaskError
+
+
+def test_workerpool_is_the_process_backend():
+    assert WorkerPool is ProcessPoolBackend
 
 
 def _square(value):
@@ -81,9 +93,15 @@ def test_closed_pool_respawns_transparently():
 
 
 def test_worker_exceptions_propagate():
+    # A real bug still aborts the batch, now attributed to the failing
+    # item (ChunkTaskError chains the original RuntimeError).
     with WorkerPool(2) as pool:
-        with pytest.raises(RuntimeError, match="boom"):
+        with pytest.raises(ChunkTaskError, match="boom") as excinfo:
             pool.map(_boom, [1, 2])
+        assert excinfo.value.index in (0, 1)
+        # The original exception survives in the message (the pickled
+        # __cause__ becomes a remote-traceback stub across processes).
+        assert "RuntimeError" in str(excinfo.value)
 
 
 def test_explicit_chunk_size_controls_dispatch_count():
