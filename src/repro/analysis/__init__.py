@@ -12,6 +12,7 @@ from .findings import Finding, Severity
 from .framework import (
     FileContext,
     LintConfigError,
+    ProgramRule,
     Rule,
     all_rules,
     iter_python_files,
@@ -20,12 +21,16 @@ from .framework import (
     lint_source,
     register_rule,
     resolve_rules,
+    tokens_cover,
 )
+from .program import LintCache, build_program
 from .reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     exit_code,
     list_rules,
     render_json,
+    render_sarif,
     render_text,
 )
 
@@ -33,18 +38,24 @@ __all__ = [
     "Finding",
     "Severity",
     "FileContext",
+    "LintCache",
     "LintConfigError",
+    "ProgramRule",
     "Rule",
     "all_rules",
+    "build_program",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
     "register_rule",
     "resolve_rules",
+    "tokens_cover",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
     "exit_code",
     "list_rules",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -1,0 +1,96 @@
+"""Git-aware file selection for ``repro lint --changed``.
+
+Fast pre-commit loop: lint only the files changed against a base ref
+*plus* everything that transitively imports them (the reverse-dependency
+closure from the program index's import graph).  The whole program is
+still summarized — cheaply, through the incremental cache — so the
+``program-*`` passes keep their cross-module view; only the *reported*
+findings are restricted to the closure.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from typing import List, Sequence
+
+from ..errors import ReproError
+
+
+class ChangedFilesError(ReproError):
+    """``git`` was unavailable or the base ref did not resolve."""
+
+
+def git_changed_files(
+    base: str, repo_root: str = "."
+) -> List[str]:
+    """Python files changed vs ``base`` (committed, staged or untracked).
+
+    Paths come back relative to ``repo_root``.  Raises
+    :class:`ChangedFilesError` when git cannot answer (not a repo,
+    unknown ref) so the CLI can exit 2 instead of linting nothing.
+    """
+    commands = [
+        ["git", "diff", "--name-only", base, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    changed: List[str] = []
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command,
+                cwd=repo_root,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+        except FileNotFoundError as exc:
+            raise ChangedFilesError("git executable not found") from exc
+        except subprocess.CalledProcessError as exc:
+            stderr = (exc.stderr or "").strip().splitlines()
+            detail = stderr[0] if stderr else f"exit {exc.returncode}"
+            raise ChangedFilesError(
+                f"git {' '.join(command[1:3])} failed: {detail}"
+            ) from exc
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line.endswith(".py"):
+                changed.append(os.path.join(repo_root, line))
+    return sorted(set(changed))
+
+
+def changed_report_paths(
+    base: str,
+    lint_paths_args: Sequence[str],
+    repo_root: str = ".",
+    cache: object = None,
+) -> List[str]:
+    """The file set ``--changed`` reports on: changes + import closure.
+
+    Builds the program index over ``lint_paths_args`` (through the
+    normal summary machinery — pass the run's ``cache`` so the
+    subsequent lint reuses every summary) and expands the changed set
+    with every module that transitively imports a changed one.
+    """
+    from .framework import iter_python_files
+    from .program import LintCache, build_program
+
+    changed = git_changed_files(base, repo_root)
+    if not changed:
+        return []
+    sources = {}
+    for path in iter_python_files(lint_paths_args):
+        with open(path, "r", encoding="utf-8") as handle:
+            sources[path] = handle.read()
+    index = build_program(
+        sources, cache=cache if isinstance(cache, LintCache) else None
+    )
+    lintable = {os.path.normpath(path) for path in sources}
+    changed_in_scope = [
+        path
+        for path in changed
+        if os.path.normpath(path) in lintable
+    ]
+    if not changed_in_scope:
+        return []
+    return index.reverse_dependency_closure(changed_in_scope)

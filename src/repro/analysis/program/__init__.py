@@ -1,0 +1,49 @@
+"""Whole-program analysis beneath ``repro lint``'s per-file rules.
+
+One parse of the tree yields per-module summaries (symbols, imports,
+call sites, impurity sinks, unit facts, closure captures), cached
+incrementally by content hash.  A :class:`ProgramIndex` assembles them
+into a project symbol table and call graph, over which three passes run:
+
+* :func:`find_impure_reaches` — interprocedural determinism, reported
+  with the full entry-to-sink call chain (``program-det-*``);
+* :func:`find_unit_mismatches` — unit-of-measure dataflow across call
+  sites, returns and assignments (``program-units-*``);
+* :func:`find_pickle_hazards` — pickle safety at ``submit_batch`` /
+  worker-frame boundaries (``program-pickle-*``).
+
+See ``docs/static-analysis.md`` ("Whole-program passes") for the
+architecture and evidence formats.
+"""
+
+from .build import build_program
+from .cache import LintCache, content_hash, ruleset_signature
+from .determinism import ImpureReach, find_impure_reaches
+from .graph import ProgramIndex, module_name_for_path
+from .picklesafety import PickleHazard, find_pickle_hazards
+from .summaries import (
+    SUMMARY_VERSION,
+    ModuleSummary,
+    summarize_module,
+    summarize_source,
+)
+from .unitsflow import UnitMismatch, find_unit_mismatches
+
+__all__ = [
+    "LintCache",
+    "ImpureReach",
+    "ModuleSummary",
+    "PickleHazard",
+    "ProgramIndex",
+    "SUMMARY_VERSION",
+    "UnitMismatch",
+    "build_program",
+    "content_hash",
+    "find_impure_reaches",
+    "find_pickle_hazards",
+    "find_unit_mismatches",
+    "module_name_for_path",
+    "ruleset_signature",
+    "summarize_module",
+    "summarize_source",
+]

@@ -1,0 +1,152 @@
+"""Incremental lint cache: per-file summaries + findings by content hash.
+
+Layout mirrors the result cache's ``ab/cdef...`` sharding::
+
+    .repro-lint-cache/
+        summaries/ab/abcdef....json      one ModuleSummary per file hash
+        findings/ab/abcdef....<sig>.json per-file findings per rule set
+
+Keys are content hashes (plus :data:`~.summaries.SUMMARY_VERSION` /
+the active per-file rule signature), so an edit invalidates exactly the
+files it touched; a warm run over an unchanged tree re-parses nothing —
+the counters on :class:`LintCache` let tests and CI assert that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from .summaries import SUMMARY_VERSION, ModuleSummary
+
+
+def content_hash(source: str, path: str = "") -> str:
+    """Stable key for one file's content.
+
+    The path participates so two byte-identical files (every empty
+    ``__init__.py``) keep distinct summaries — a summary carries its
+    module name and path.  The version prefix invalidates the whole
+    cache when the summary format changes.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"v{SUMMARY_VERSION}:{path}:".encode("utf-8"))
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def ruleset_signature(rule_ids: List[str]) -> str:
+    """Short signature of the active per-file rule set."""
+    digest = hashlib.sha256(
+        ",".join(sorted(rule_ids)).encode("utf-8")
+    )
+    return digest.hexdigest()[:16]
+
+
+class LintCache:
+    """Content-hash keyed store for summaries and per-file findings.
+
+    ``root=None`` keeps everything in memory (one process, no disk
+    traffic) — handy for tests and one-shot runs; a path persists across
+    runs for warm CI lints.  The three counters are part of the public
+    contract: ``parses`` counts actual ``ast.parse`` invocations this
+    run, ``summary_hits``/``finding_hits`` count cache reuse.
+    """
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = root
+        self.parses = 0
+        self.summary_hits = 0
+        self.finding_hits = 0
+        self._mem_summaries: Dict[str, Dict[str, Any]] = {}
+        self._mem_findings: Dict[str, List[Dict[str, Any]]] = {}
+
+    # ------------------------------------------------------------------
+    # disk layout
+    # ------------------------------------------------------------------
+    def _entry_path(self, kind: str, key: str) -> Optional[str]:
+        if self.root is None:
+            return None
+        return os.path.join(self.root, kind, key[:2], f"{key}.json")
+
+    def _read(self, kind: str, key: str) -> Optional[Any]:
+        path = self._entry_path(kind, key)
+        if path is None or not os.path.isfile(path):
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None  # a corrupt entry behaves like a miss
+
+    def _write(self, kind: str, key: str, payload: Any) -> None:
+        path = self._entry_path(kind, key)
+        if path is None:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def get_summary(self, key: str) -> Optional[ModuleSummary]:
+        """A cached module summary for this content hash, if present."""
+        payload = self._mem_summaries.get(key)
+        if payload is None:
+            payload = self._read("summaries", key)
+        if payload is None or payload.get("version") != SUMMARY_VERSION:
+            return None
+        self.summary_hits += 1
+        return ModuleSummary.from_json(payload)
+
+    def put_summary(self, key: str, summary: ModuleSummary) -> None:
+        """Store a freshly extracted summary under its content hash."""
+        payload = summary.to_json()
+        self._mem_summaries[key] = payload
+        self._write("summaries", key, payload)
+
+    # ------------------------------------------------------------------
+    # per-file findings
+    # ------------------------------------------------------------------
+    def get_findings(
+        self, key: str, signature: str
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Cached per-file findings for (content hash, rule set)."""
+        full_key = f"{key}-{signature}"
+        payload = self._mem_findings.get(full_key)
+        if payload is None:
+            payload = self._read("findings", full_key)
+        if payload is None:
+            return None
+        self.finding_hits += 1
+        return payload
+
+    def put_findings(
+        self,
+        key: str,
+        signature: str,
+        findings: List[Dict[str, Any]],
+    ) -> None:
+        """Store one file's findings under (content hash, rule set)."""
+        full_key = f"{key}-{signature}"
+        self._mem_findings[full_key] = findings
+        self._write("findings", full_key, findings)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def note_parse(self) -> None:
+        """Record one real ``ast.parse`` (cold file)."""
+        self.parses += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for reporters and assertions."""
+        return {
+            "parses": self.parses,
+            "summary_hits": self.summary_hits,
+            "finding_hits": self.finding_hits,
+        }

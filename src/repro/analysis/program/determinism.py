@@ -1,0 +1,99 @@
+"""Interprocedural determinism/purity inference.
+
+The per-file ``det-*`` rules see a wall-clock read only when it sits
+inside sim/, hw/ or schemes/ itself; a helper three calls away in a
+utility module escapes them — and PR 5/6 made the cost of that silent:
+one nondeterministic value reachable from the simulation poisons the
+fingerprint cache across processes and hosts.  This pass seeds impurity
+at the known sinks recorded in the module summaries (wall clock,
+unseeded RNG, entropy, environment reads) and propagates it backwards
+over the whole-program call graph; any deterministic-core entry point
+that reaches a sink is reported with the full call chain as evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .graph import ProgramIndex
+from .summaries import Sink
+
+
+@dataclass(frozen=True)
+class ImpureReach:
+    """One entry point with a path to an impurity sink."""
+
+    #: The deterministic-core function the chain starts at.
+    entry: str
+    #: Function ids from entry to the sink-containing function.
+    chain: Tuple[str, ...]
+    #: Call-site lines pairing each chain hop (len == len(chain) - 1).
+    lines: Tuple[int, ...]
+    #: The sink reached at the end of the chain.
+    sink: Sink
+
+    def describe(self) -> str:
+        """Human-readable ``a -> b -> c -> sink`` evidence trail."""
+        hops = " -> ".join(self.chain)
+        return (
+            f"{hops} -> {self.sink.detail}() "
+            f"[{self.sink.kind} at line {self.sink.lineno}]"
+        )
+
+
+def find_impure_reaches(index: ProgramIndex) -> List[ImpureReach]:
+    """Entry points reaching an impurity sink through >= 1 call hop.
+
+    Direct sinks inside an entry function are the per-file ``det-*``
+    rules' territory (and already reported there); this pass only
+    reports impurity that *arrives through the call graph*, which is
+    exactly what per-file analysis cannot see.
+    """
+    # Seed: function -> its first recorded sink.
+    seeded: Dict[str, Sink] = {}
+    for fid, fn in index.functions.items():
+        if fn.sinks:
+            seeded[fid] = fn.sinks[0]
+    if not seeded:
+        return []
+    # Backwards BFS from sinks: impure[f] = (next hop, call line) on a
+    # shortest witness path from f to a seeded function.
+    reverse = index.reverse_call_edges()
+    witness: Dict[str, Tuple[Optional[str], int]] = {
+        fid: (None, 0) for fid in seeded
+    }
+    queue = sorted(seeded)
+    while queue:
+        next_queue: List[str] = []
+        for callee in queue:
+            for caller, line in sorted(reverse.get(callee, ())):
+                if caller not in witness:
+                    witness[caller] = (callee, line)
+                    next_queue.append(caller)
+        queue = next_queue
+    reaches: List[ImpureReach] = []
+    for entry in index.deterministic_entry_points():
+        hop = witness.get(entry)
+        if hop is None or hop[0] is None:
+            continue  # pure, or only directly-sinked (per-file territory)
+        chain: List[str] = [entry]
+        lines: List[int] = []
+        current: Optional[str] = entry
+        while current is not None:
+            next_fn, line = witness[current]
+            if next_fn is None:
+                break
+            chain.append(next_fn)
+            lines.append(line)
+            current = next_fn
+        sink = seeded[chain[-1]]
+        reaches.append(
+            ImpureReach(
+                entry=entry,
+                chain=tuple(chain),
+                lines=tuple(lines),
+                sink=sink,
+            )
+        )
+    return reaches

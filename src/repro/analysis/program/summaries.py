@@ -1,0 +1,756 @@
+"""Per-file symbol/dataflow summaries for the whole-program passes.
+
+One parse of a module produces a :class:`ModuleSummary`: its classes and
+functions, the import table, every call site with resolved-enough callee
+text and abstract argument facts (unit-of-measure guesses, closure
+captures, lambda-ness), the impurity sinks the body touches, and the
+inline-suppression map.  Summaries are plain-data and JSON-round-trip
+(:meth:`ModuleSummary.to_json` / :meth:`ModuleSummary.from_json`) so the
+incremental cache can persist them per content hash — the program index
+is then rebuilt from summaries alone, with zero re-parses on a warm run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..framework import parse_suppressions
+
+#: Bump to invalidate cached summaries when the extraction changes.
+SUMMARY_VERSION = 1
+
+#: Name suffix -> unit-of-measure lattice value.
+UNIT_SUFFIXES: Dict[str, str] = {
+    "_s": "s",
+    "_ms": "ms",
+    "_us": "us",
+    "_ns": "ns",
+    "_j": "J",
+    "_mj": "mJ",
+    "_w": "W",
+    "_mw": "mW",
+    "_hz": "Hz",
+    "_khz": "kHz",
+    "_mhz": "MHz",
+    "_bytes": "B",
+    "_kib": "KiB",
+}
+
+#: Bare identifiers that conventionally carry a unit in this codebase.
+UNIT_NAMES: Dict[str, str] = {
+    "now": "s",
+    "deadline": "s",
+    "elapsed": "s",
+    "seconds": "s",
+    "joules": "J",
+    "watts": "W",
+    "nbytes": "B",
+}
+
+#: ``repro.units`` helpers -> the unit of their *return* value.
+CONSTRUCTOR_UNITS: Dict[str, str] = {
+    "ms": "s",
+    "us": "s",
+    "ns": "s",
+    "mw": "W",
+    "mj": "J",
+    "kib": "B",
+    "khz": "Hz",
+    "mhz": "Hz",
+    "to_ms": "ms",
+    "to_us": "us",
+    "to_mw": "mW",
+    "to_mj": "mJ",
+    "to_kib": "KiB",
+}
+
+#: Dotted-call suffixes that read the host wall clock.
+WALLCLOCK_SINKS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Bare names that are clock reads when imported directly.
+_BARE_CLOCKS = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "process_time"}
+)
+
+#: Entropy sources (always impure, seeded or not).
+ENTROPY_SINKS = frozenset(
+    {"urandom", "uuid4", "token_bytes", "token_hex", "getrandbits"}
+)
+
+#: Environment reads (host-dependent => impure for the sim core).
+ENV_SINKS = frozenset({"getenv", "environ"})
+
+#: Constructors whose instances never cross a pickle boundary safely.
+UNPICKLABLE_CONSTRUCTORS = frozenset(
+    {
+        "TraceRecorder",
+        "socket",
+        "Thread",
+        "Lock",
+        "RLock",
+        "Condition",
+        "open",
+        "Popen",
+    }
+)
+
+#: Attribute names whose values are live, process-local handles.
+LIVE_HANDLE_ATTRS = frozenset({"hub", "recorder", "sock", "conn"})
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for an attribute chain rooted at a Name, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def unit_from_identifier(name: str) -> Optional[str]:
+    """The unit a bare identifier carries by naming convention."""
+    for suffix, unit in UNIT_SUFFIXES.items():
+        if name.endswith(suffix):
+            return unit
+    return UNIT_NAMES.get(name)
+
+
+@dataclass
+class ArgInfo:
+    """Abstract facts about one argument at one call site."""
+
+    #: ``name`` | ``lambda`` | ``nested`` | ``call`` | ``const`` | ``other``
+    kind: str
+    #: Identifier text for name/call/nested kinds (display + resolution).
+    name: Optional[str] = None
+    #: Inferred unit-of-measure of the expression, when known.
+    unit: Optional[str] = None
+    #: Free variables captured by a lambda/nested-function argument.
+    free: List[str] = field(default_factory=list)
+    #: Names referenced anywhere inside a container/other expression.
+    refs: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for the summary cache."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "unit": self.unit,
+            "free": self.free,
+            "refs": self.refs,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ArgInfo":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            kind=data["kind"],
+            name=data.get("name"),
+            unit=data.get("unit"),
+            free=list(data.get("free", [])),
+            refs=list(data.get("refs", [])),
+        )
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    #: Dotted callee text (``self.step``, ``time.time``, ``fn``) or "".
+    callee: str
+    lineno: int
+    args: List[ArgInfo] = field(default_factory=list)
+    kwargs: Dict[str, ArgInfo] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for the summary cache."""
+        return {
+            "callee": self.callee,
+            "lineno": self.lineno,
+            "args": [arg.to_json() for arg in self.args],
+            "kwargs": {
+                key: arg.to_json() for key, arg in self.kwargs.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "CallSite":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            callee=data["callee"],
+            lineno=data["lineno"],
+            args=[ArgInfo.from_json(arg) for arg in data.get("args", [])],
+            kwargs={
+                key: ArgInfo.from_json(arg)
+                for key, arg in data.get("kwargs", {}).items()
+            },
+        )
+
+
+@dataclass
+class Sink:
+    """One impurity source touched directly by a function body."""
+
+    #: ``wallclock`` | ``unseeded-random`` | ``entropy`` | ``env-read``
+    kind: str
+    #: The offending expression text (``time.time``, ``os.environ``).
+    detail: str
+    lineno: int
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for the summary cache."""
+        return {"kind": self.kind, "detail": self.detail, "lineno": self.lineno}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Sink":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            kind=data["kind"], detail=data["detail"], lineno=data["lineno"]
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the program passes need to know about one function."""
+
+    qualname: str
+    lineno: int
+    params: List[str] = field(default_factory=list)
+    #: Whether the signature takes *args/**kwargs (disables arg mapping).
+    flexible: bool = False
+    calls: List[CallSite] = field(default_factory=list)
+    sinks: List[Sink] = field(default_factory=list)
+    #: (inferred unit, lineno) for each ``return <expr>`` statement.
+    return_units: List[Tuple[Optional[str], int]] = field(
+        default_factory=list
+    )
+    #: Unit-suffixed assignments fed by a call:
+    #: (target name, target unit, callee text, value unit, lineno).
+    unit_assigns: List[Tuple[str, str, str, Optional[str], int]] = field(
+        default_factory=list
+    )
+    #: Nested function name -> captured (free) variable names.
+    nested: Dict[str, List[str]] = field(default_factory=dict)
+    #: Local variable -> constructor/handle evidence for pickle safety
+    #: (a class name from ``var = ClassName(...)``, or ``attr:<name>``
+    #: for ``var = obj.hub``-style live-handle grabs).
+    local_types: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def unit(self) -> Optional[str]:
+        """The unit the function's own name promises for its return."""
+        return unit_from_identifier(self.qualname.rsplit(".", 1)[-1])
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for the summary cache."""
+        return {
+            "qualname": self.qualname,
+            "lineno": self.lineno,
+            "params": self.params,
+            "flexible": self.flexible,
+            "calls": [call.to_json() for call in self.calls],
+            "sinks": [sink.to_json() for sink in self.sinks],
+            "return_units": [list(item) for item in self.return_units],
+            "unit_assigns": [list(item) for item in self.unit_assigns],
+            "nested": self.nested,
+            "local_types": self.local_types,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FunctionSummary":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            qualname=data["qualname"],
+            lineno=data["lineno"],
+            params=list(data.get("params", [])),
+            flexible=bool(data.get("flexible", False)),
+            calls=[CallSite.from_json(c) for c in data.get("calls", [])],
+            sinks=[Sink.from_json(s) for s in data.get("sinks", [])],
+            return_units=[
+                (item[0], item[1]) for item in data.get("return_units", [])
+            ],
+            unit_assigns=[
+                (item[0], item[1], item[2], item[3], item[4])
+                for item in data.get("unit_assigns", [])
+            ],
+            nested={
+                name: list(free)
+                for name, free in data.get("nested", {}).items()
+            },
+            local_types=dict(data.get("local_types", {})),
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One class definition: bases, methods, registry decoration."""
+
+    name: str
+    lineno: int
+    bases: List[str] = field(default_factory=list)
+    methods: List[str] = field(default_factory=list)
+    #: ``register_scheme``/``register_backend``-style decoration, as
+    #: (decorator name, registered key) when present.
+    registered: Optional[Tuple[str, str]] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for the summary cache."""
+        return {
+            "name": self.name,
+            "lineno": self.lineno,
+            "bases": self.bases,
+            "methods": self.methods,
+            "registered": list(self.registered) if self.registered else None,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ClassSummary":
+        """Rebuild from :meth:`to_json` output."""
+        registered = data.get("registered")
+        return cls(
+            name=data["name"],
+            lineno=data["lineno"],
+            bases=list(data.get("bases", [])),
+            methods=list(data.get("methods", [])),
+            registered=(registered[0], registered[1]) if registered else None,
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The per-module unit the program index is assembled from."""
+
+    module: str
+    path: str
+    #: Local name -> dotted import target (``np`` -> ``numpy``,
+    #: ``ms`` -> ``repro.units.ms``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: Dict[str, ClassSummary] = field(default_factory=dict)
+    #: Line -> suppression tokens (mirrors the per-file framework).
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form for the summary cache."""
+        return {
+            "version": SUMMARY_VERSION,
+            "module": self.module,
+            "path": self.path,
+            "imports": self.imports,
+            "functions": {
+                name: fn.to_json() for name, fn in self.functions.items()
+            },
+            "classes": {
+                name: cls_.to_json() for name, cls_ in self.classes.items()
+            },
+            "suppressions": {
+                str(line): tokens
+                for line, tokens in self.suppressions.items()
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "ModuleSummary":
+        """Rebuild from :meth:`to_json` output."""
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            imports=dict(data.get("imports", {})),
+            functions={
+                name: FunctionSummary.from_json(fn)
+                for name, fn in data.get("functions", {}).items()
+            },
+            classes={
+                name: ClassSummary.from_json(cls_json)
+                for name, cls_json in data.get("classes", {}).items()
+            },
+            suppressions={
+                int(line): list(tokens)
+                for line, tokens in data.get("suppressions", {}).items()
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# extraction
+# ----------------------------------------------------------------------
+def _referenced_names(node: ast.AST) -> List[str]:
+    """Every Name loaded anywhere inside ``node`` (sorted, unique)."""
+    names = {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load)
+    }
+    return sorted(names)
+
+
+def _free_variables(fn: ast.AST) -> List[str]:
+    """Names a lambda/nested function loads but never binds locally."""
+    bound = set()
+    if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = fn.args
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *((args.vararg,) if args.vararg else ()),
+            *((args.kwarg,) if args.kwarg else ()),
+        ):
+            bound.add(arg.arg)
+    for child in ast.walk(fn):
+        if isinstance(child, ast.Name) and isinstance(
+            child.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(child.id)
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(child.name)
+    return sorted(
+        {
+            child.id
+            for child in ast.walk(fn)
+            if isinstance(child, ast.Name)
+            and isinstance(child.ctx, ast.Load)
+            and child.id not in bound
+        }
+    )
+
+
+def infer_unit(node: ast.AST) -> Optional[str]:
+    """Best-effort unit-of-measure of an expression.
+
+    Sources: unit-suffixed identifiers/attributes, the ``repro.units``
+    constructors, scale-free arithmetic (``x_s + y_s`` stays seconds;
+    mixed or scaled arithmetic degrades to unknown rather than guessing).
+    """
+    if isinstance(node, ast.Name):
+        return unit_from_identifier(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_from_identifier(node.attr)
+    if isinstance(node, ast.Call):
+        dotted = dotted_name(node.func)
+        if dotted is not None:
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in CONSTRUCTOR_UNITS:
+                return CONSTRUCTOR_UNITS[tail]
+            return unit_from_identifier(tail)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub)
+    ):
+        left = infer_unit(node.left)
+        right = infer_unit(node.right)
+        if left is not None and (right is None or right == left):
+            return left
+        if right is not None and left is None:
+            return right
+        return None
+    if isinstance(node, ast.UnaryOp):
+        return infer_unit(node.operand)
+    if isinstance(node, ast.IfExp):
+        body = infer_unit(node.body)
+        orelse = infer_unit(node.orelse)
+        return body if body == orelse else None
+    return None
+
+
+def _classify_arg(node: ast.AST) -> ArgInfo:
+    """Build the :class:`ArgInfo` abstraction for one argument node."""
+    if isinstance(node, ast.Lambda):
+        return ArgInfo(kind="lambda", free=_free_variables(node))
+    if isinstance(node, ast.Name):
+        return ArgInfo(kind="name", name=node.id, unit=infer_unit(node))
+    if isinstance(node, ast.Attribute):
+        return ArgInfo(
+            kind="name", name=dotted_name(node), unit=infer_unit(node)
+        )
+    if isinstance(node, ast.Call):
+        return ArgInfo(
+            kind="call",
+            name=dotted_name(node.func),
+            unit=infer_unit(node),
+            refs=_referenced_names(node),
+        )
+    if isinstance(node, ast.Constant):
+        return ArgInfo(kind="const")
+    return ArgInfo(
+        kind="other", unit=infer_unit(node), refs=_referenced_names(node)
+    )
+
+
+def _detect_sink(call: ast.Call) -> Optional[Sink]:
+    """Classify a call as an impurity sink, if it is one."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    tail = parts[-1]
+    if len(parts) == 1 and tail in _BARE_CLOCKS:
+        return Sink("wallclock", dotted, call.lineno)
+    for depth in (2, 3):
+        if len(parts) >= depth:
+            suffix = ".".join(parts[-depth:])
+            if suffix in WALLCLOCK_SINKS:
+                return Sink("wallclock", dotted, call.lineno)
+    if parts[0] == "random" and len(parts) == 2:
+        if tail == "Random" and not call.args and not call.keywords:
+            return Sink("unseeded-random", dotted, call.lineno)
+        if tail not in ("Random", "seed", "getstate", "setstate"):
+            return Sink("unseeded-random", dotted, call.lineno)
+    if tail == "default_rng" and not call.args and not call.keywords:
+        return Sink("unseeded-random", dotted, call.lineno)
+    if tail in ENTROPY_SINKS:
+        return Sink("entropy", dotted, call.lineno)
+    if tail in ENV_SINKS and parts[0] in ("os", "environ"):
+        return Sink("env-read", dotted, call.lineno)
+    return None
+
+
+class _FunctionExtractor(ast.NodeVisitor):
+    """Walks one function body collecting calls, sinks and local facts."""
+
+    def __init__(self, summary: FunctionSummary):
+        self.summary = summary
+        #: Depth > 0 means we are inside a nested function definition.
+        self._depth = 0
+
+    # -- nested definitions -------------------------------------------
+    def _visit_nested(self, node: ast.AST, name: str) -> None:
+        self.summary.nested[name] = _free_variables(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Record a nested def's closure captures; skip its body."""
+        self._visit_nested(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Same treatment for nested async defs."""
+        self._visit_nested(node, node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        """Lambdas bound to names are tracked via Assign, not here."""
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        """Record the call site and any impurity sink it constitutes."""
+        callee = dotted_name(node.func) or ""
+        site = CallSite(callee=callee, lineno=node.lineno)
+        for arg in node.args:
+            site.args.append(_classify_arg(arg))
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                site.kwargs[keyword.arg] = _classify_arg(keyword.value)
+        self.summary.calls.append(site)
+        sink = _detect_sink(node)
+        if sink is not None:
+            self.summary.sinks.append(sink)
+        self.generic_visit(node)
+
+    # -- attribute reads that are sinks or live-handle grabs -----------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        """``os.environ[...]``-style reads count as env sinks."""
+        dotted = dotted_name(node)
+        if dotted == "os.environ":
+            self.summary.sinks.append(
+                Sink("env-read", dotted, node.lineno)
+            )
+        self.generic_visit(node)
+
+    # -- assignments ---------------------------------------------------
+    def _record_assign(self, target: ast.AST, value: ast.AST) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        if isinstance(value, ast.Call):
+            ctor = dotted_name(value.func)
+            if ctor is not None:
+                tail = ctor.rsplit(".", 1)[-1]
+                if tail in UNPICKLABLE_CONSTRUCTORS or (
+                    tail[:1].isupper() and "." not in tail
+                ):
+                    self.summary.local_types[name] = tail
+            target_unit = unit_from_identifier(name)
+            if target_unit is not None:
+                self.summary.unit_assigns.append(
+                    (
+                        name,
+                        target_unit,
+                        ctor or "",
+                        infer_unit(value),
+                        value.lineno,
+                    )
+                )
+        elif isinstance(value, ast.Attribute):
+            if value.attr in LIVE_HANDLE_ATTRS:
+                self.summary.local_types[name] = f"attr:{value.attr}"
+        elif isinstance(value, ast.Lambda):
+            self.summary.nested[name] = _free_variables(value)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Track constructor types, live-handle grabs, unit bindings."""
+        for target in node.targets:
+            self._record_assign(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        """Annotated assignments get the same treatment."""
+        if node.value is not None:
+            self._record_assign(node.target, node.value)
+        self.generic_visit(node)
+
+    # -- returns -------------------------------------------------------
+    def visit_Return(self, node: ast.Return) -> None:
+        """Record the inferred unit of every returned expression."""
+        if node.value is not None:
+            self.summary.return_units.append(
+                (infer_unit(node.value), node.lineno)
+            )
+        self.generic_visit(node)
+
+
+def _param_names(args: ast.arguments) -> Tuple[List[str], bool]:
+    """Positional-parameter names and whether the signature is flexible."""
+    names = [arg.arg for arg in (*args.posonlyargs, *args.args)]
+    flexible = args.vararg is not None or args.kwarg is not None
+    return names, flexible
+
+
+def _registration(
+    node: ast.ClassDef,
+) -> Optional[Tuple[str, str]]:
+    """(decorator, key) for ``@register_*("key")`` class decorations."""
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        name = dotted_name(decorator.func)
+        if name is None:
+            continue
+        tail = name.rsplit(".", 1)[-1]
+        if tail.startswith("register"):
+            key = ""
+            if decorator.args and isinstance(
+                decorator.args[0], ast.Constant
+            ):
+                key = str(decorator.args[0].value)
+            return (tail, key)
+    return None
+
+
+def _summarize_function(
+    node: ast.AST, qualname: str
+) -> FunctionSummary:
+    """Extract one function's summary from its AST."""
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    params, flexible = _param_names(node.args)
+    summary = FunctionSummary(
+        qualname=qualname,
+        lineno=node.lineno,
+        params=params,
+        flexible=flexible,
+    )
+    extractor = _FunctionExtractor(summary)
+    for statement in node.body:
+        extractor.visit(statement)
+    return summary
+
+
+def _resolve_relative(module: str, level: int, target: str) -> str:
+    """Resolve a ``from ..x import y`` module relative to ``module``."""
+    if level <= 0:
+        return target
+    package_parts = module.split(".")
+    # A module's package is itself for __init__-style names; summaries
+    # always use the module path, so drop `level` trailing components.
+    base = package_parts[: len(package_parts) - level]
+    if target:
+        base = base + target.split(".")
+    return ".".join(base)
+
+
+def summarize_module(
+    tree: ast.Module, module: str, path: str, source: str
+) -> ModuleSummary:
+    """Build the :class:`ModuleSummary` for one parsed module."""
+    summary = ModuleSummary(module=module, path=path)
+    summary.suppressions = {
+        line: sorted(tokens)
+        for line, tokens in parse_suppressions(source).items()
+    }
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                summary.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(module, node.level, node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                summary.imports[local] = f"{base}.{alias.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            summary.functions[node.name] = _summarize_function(
+                node, node.name
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls_summary = ClassSummary(
+                name=node.name,
+                lineno=node.lineno,
+                bases=[
+                    base_name
+                    for base in node.bases
+                    if (base_name := dotted_name(base)) is not None
+                ],
+                registered=_registration(node),
+            )
+            for child in node.body:
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    qualname = f"{node.name}.{child.name}"
+                    cls_summary.methods.append(child.name)
+                    summary.functions[qualname] = _summarize_function(
+                        child, qualname
+                    )
+            summary.classes[node.name] = cls_summary
+    return summary
+
+
+def summarize_source(
+    source: str, module: str, path: str
+) -> Optional[ModuleSummary]:
+    """Parse + summarize, returning None for files that do not parse."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+    return summarize_module(tree, module, path, source)
+
+
+def iter_function_ids(
+    summaries: Sequence[ModuleSummary],
+) -> List[str]:
+    """All ``module:qualname`` function ids across the summaries."""
+    ids: List[str] = []
+    for summary in summaries:
+        for qualname in summary.functions:
+            ids.append(f"{summary.module}:{qualname}")
+    return ids

@@ -1,0 +1,188 @@
+"""Unit-of-measure dataflow across function boundaries.
+
+Per-file units rules catch inline scale arithmetic; what they cannot see
+is a *correctly computed* milliseconds value handed to a parameter that
+expects seconds in another module.  This pass uses the abstract units
+recorded in the summaries — ``repro.units`` constructor returns,
+unit-suffixed identifiers (``_s``/``_ms``/``_j``/...), the conventional
+bare names (``seconds``, ``joules``) — and checks three seams:
+
+* call sites: an argument whose inferred unit disagrees with the unit
+  the callee's parameter name declares;
+* returns: a function whose name promises one unit returning another;
+* assignments: ``x_s = f(...)`` where ``f``'s declared/inferred return
+  unit is not seconds.
+
+Both units must be *known* for a finding; unknown stays silent — the
+pass is deliberately high-precision, low-recall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .graph import ProgramIndex
+from .summaries import FunctionSummary, unit_from_identifier
+
+
+@dataclass(frozen=True)
+class UnitMismatch:
+    """One cross-function unit disagreement."""
+
+    #: ``call`` | ``return`` | ``assign`` — which seam disagreed.
+    seam: str
+    #: Function id the mismatch occurs inside.
+    function: str
+    lineno: int
+    expected: str
+    actual: str
+    detail: str
+
+
+def _declared_return_unit(
+    index: ProgramIndex, module: str, callee: str
+) -> Optional[str]:
+    """The unit a callee promises to return, if resolvable."""
+    if not callee:
+        return None
+    tail = callee.rsplit(".", 1)[-1]
+    direct = unit_from_identifier(tail)
+    if direct is not None:
+        return direct
+    resolved = index.resolve_name(module, callee) if "." not in callee else None
+    if resolved is not None:
+        fn = index.functions[resolved]
+        if fn.unit is not None:
+            return fn.unit
+        units = {unit for unit, _line in fn.return_units if unit is not None}
+        if len(units) == 1 and all(
+            unit is not None for unit, _line in fn.return_units
+        ):
+            return units.pop()
+    return None
+
+
+def _check_call_sites(
+    index: ProgramIndex,
+    module: str,
+    caller_id: str,
+    fn: FunctionSummary,
+    mismatches: List[UnitMismatch],
+) -> None:
+    """Compare argument units against callee parameter-name units."""
+    summary = index.modules[module]
+    for site in fn.calls:
+        if not site.callee:
+            continue
+        target_id: Optional[str] = None
+        is_method_call = "." in site.callee
+        if not is_method_call:
+            target_id = index.resolve_name(module, site.callee)
+        else:
+            receiver, method = site.callee.rsplit(".", 1)
+            if receiver in ("self", "cls") and "." in fn.qualname:
+                target_id = index.resolve_method(
+                    module, fn.qualname.split(".", 1)[0], method
+                )
+            elif receiver in summary.imports:
+                imported = summary.imports[receiver]
+                if (
+                    imported in index.modules
+                    and method in index.modules[imported].functions
+                ):
+                    target_id = f"{imported}:{method}"
+                    is_method_call = False
+        if target_id is None:
+            continue
+        target = index.functions[target_id]
+        if target.flexible:
+            continue
+        params = list(target.params)
+        if is_method_call and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        for position, arg in enumerate(site.args):
+            if position >= len(params) or arg.unit is None:
+                continue
+            expected = unit_from_identifier(params[position])
+            if expected is not None and expected != arg.unit:
+                mismatches.append(
+                    UnitMismatch(
+                        seam="call",
+                        function=caller_id,
+                        lineno=site.lineno,
+                        expected=expected,
+                        actual=arg.unit,
+                        detail=(
+                            f"argument {position + 1} of "
+                            f"{site.callee}() feeds parameter "
+                            f"{params[position]!r}"
+                        ),
+                    )
+                )
+        for keyword, arg in site.kwargs.items():
+            if arg.unit is None or keyword not in target.params:
+                continue
+            expected = unit_from_identifier(keyword)
+            if expected is not None and expected != arg.unit:
+                mismatches.append(
+                    UnitMismatch(
+                        seam="call",
+                        function=caller_id,
+                        lineno=site.lineno,
+                        expected=expected,
+                        actual=arg.unit,
+                        detail=(
+                            f"keyword {keyword!r} of {site.callee}()"
+                        ),
+                    )
+                )
+
+
+def find_unit_mismatches(index: ProgramIndex) -> List[UnitMismatch]:
+    """All cross-function unit mismatches in the program."""
+    mismatches: List[UnitMismatch] = []
+    for caller_id in sorted(index.functions):
+        module = index.function_module[caller_id]
+        fn = index.functions[caller_id]
+        _check_call_sites(index, module, caller_id, fn, mismatches)
+        # Returns: the function name promises a unit.
+        promised = fn.unit
+        if promised is not None:
+            for unit, lineno in fn.return_units:
+                if unit is not None and unit != promised:
+                    mismatches.append(
+                        UnitMismatch(
+                            seam="return",
+                            function=caller_id,
+                            lineno=lineno,
+                            expected=promised,
+                            actual=unit,
+                            detail=(
+                                f"{fn.qualname}() is named as"
+                                f" {promised} but returns {unit}"
+                            ),
+                        )
+                    )
+        # Assignments fed by calls with a known different return unit.
+        for target, target_unit, callee, value_unit, lineno in (
+            fn.unit_assigns
+        ):
+            actual = value_unit
+            if actual is None:
+                actual = _declared_return_unit(index, module, callee)
+            if actual is not None and actual != target_unit:
+                mismatches.append(
+                    UnitMismatch(
+                        seam="assign",
+                        function=caller_id,
+                        lineno=lineno,
+                        expected=target_unit,
+                        actual=actual,
+                        detail=(
+                            f"{target!r} is assigned from "
+                            f"{callee or 'a call'}() returning {actual}"
+                        ),
+                    )
+                )
+    return mismatches

@@ -9,6 +9,7 @@ from . import (  # noqa: F401
     determinism,
     docs,
     errors,
+    program,
     schemes,
     units,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "determinism",
     "docs",
     "errors",
+    "program",
     "schemes",
     "units",
 ]

@@ -1,0 +1,8 @@
+"""Fixture mini-project for the whole-program lint tests.
+
+Deliberately seeded with one bug per ``program-*`` rule family (plus
+the call-graph shapes the passes must resolve: direct cross-module
+calls, receiver-typed method calls, registry dispatch and callback
+registration).  Never linted by the repo-wide run — only the tests in
+``tests/test_lint_program.py`` point the analyzer here.
+"""

@@ -1,0 +1,26 @@
+"""Impure helpers the determinism pass must trace into.
+
+This module sits *outside* the deterministic core, so the per-file
+``det-*`` rules never look at it — only the interprocedural pass can
+connect the sim entry points to the wall-clock read below.
+"""
+
+import time
+
+
+def stamp():
+    """Wall-clock read — the impurity sink."""
+    return time.time()
+
+
+def jitter():
+    """One call hop above the sink."""
+    return stamp() * 0.5
+
+
+class Meter:
+    """Receiver-type resolution target (``m = Meter(); m.read()``)."""
+
+    def read(self):
+        """Impure method reached through a typed receiver."""
+        return stamp()

@@ -1,0 +1,42 @@
+"""Cross-process boundary with one of each pickle hazard shape."""
+
+
+class Pool:
+    """Minimal backend look-alike exposing the submit seam."""
+
+    def submit_batch(self, fn, items):
+        """Pretend to ship ``fn``/``items`` to worker processes."""
+        return [fn(item) for item in items]
+
+
+def scale(items, hub):
+    """Lambda hazard: an inline closure crosses the boundary."""
+    pool = Pool()
+    return pool.submit_batch(lambda item: item + hub.gain, items)
+
+
+def run_nested(items):
+    """Closure hazard: a nested function with free variables."""
+    offset = 3
+
+    def shifted(item):
+        """Closure over ``offset``."""
+        return item + offset
+
+    pool = Pool()
+    return pool.submit_batch(shifted, items)
+
+
+def export(engine, items):
+    """Live-handle hazard: ships the engine's recorder handle."""
+    recorder = engine.recorder
+    pool = Pool()
+    return pool.submit_batch(recorder, items)
+
+
+def ship_reviewed(items):
+    """A suppressed hazard (tests hyphen-prefix suppression)."""
+    pool = Pool()
+    return pool.submit_batch(  # repro-lint: disable=program-pickle
+        lambda item: item, items
+    )

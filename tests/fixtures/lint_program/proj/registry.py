@@ -1,0 +1,36 @@
+"""Scheme registry for the fixture project (mirrors repro's shape)."""
+
+_SCHEMES = {}
+
+
+def register_scheme(name):
+    """Class decorator registering a scheme under ``name``."""
+
+    def wrap(cls):
+        _SCHEMES[name] = cls
+        return cls
+
+    return wrap
+
+
+def get_scheme(name):
+    """Look up a registered scheme class by name."""
+    return _SCHEMES[name]
+
+
+_BACKENDS = {}
+
+
+def register_backend(name):
+    """Class decorator registering a backend under ``name``."""
+
+    def wrap(cls):
+        _BACKENDS[name] = cls
+        return cls
+
+    return wrap
+
+
+def get_backend(name):
+    """Look up a registered backend class by name."""
+    return _BACKENDS[name]

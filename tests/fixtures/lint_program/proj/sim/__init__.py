@@ -1,0 +1,1 @@
+"""Deterministic-core subpackage of the fixture project."""
