@@ -39,6 +39,34 @@ def _is_property_companion(node: ast.AST) -> bool:
 
 
 @register_rule
+class MissingModuleDocstringRule(Rule):
+    """Public module without a module docstring."""
+
+    rule_id = "docs-missing-module-docstring"
+    description = (
+        "public module in src/repro/ without a module docstring — the"
+        " architecture docs link into modules by their first line"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Library code: public module names, plus package ``__init__``s."""
+        stem = ctx.filename.rsplit(".", 1)[0]
+        return ctx.in_dirs({"repro"}) and (
+            _is_public(stem) or stem == "__init__"
+        )
+
+    def finish_module(self, ctx: FileContext, tree: ast.Module) -> None:
+        """Flag the module when it opens with anything but a docstring."""
+        if ast.get_docstring(tree) is None:
+            self.emit(
+                ctx,
+                tree,
+                f"module {ctx.filename!r} has no module docstring",
+                name=ctx.filename.rsplit(".", 1)[0],
+            )
+
+
+@register_rule
 class MissingDocstringRule(Rule):
     """Public API without a docstring."""
 

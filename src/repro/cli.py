@@ -22,6 +22,13 @@ Subcommands:
   and ``compare`` pick a backend with ``--backend serial|process|socket``
   (``--backend-hosts host:port,host:port`` points at worker agents);
   see ``docs/performance.md``.
+* ``serve --port 8080`` — run the simulation service: a long-lived
+  HTTP/JSON API accepting run/grid/sweep jobs from many clients, with
+  per-client quotas, request coalescing and streamed progress events;
+  see ``docs/serve.md``.
+* ``client --url http://127.0.0.1:8080 grid --apps A1 --apps A2 A4
+  --schemes baseline com`` — talk to a running service: submit jobs,
+  poll status, stream events, fetch results, cancel.
 * ``lint src/`` — run the repo's own static analysis (units discipline,
   determinism, error surface, scheme contracts, docstrings); see
   ``docs/static-analysis.md``.
@@ -204,6 +211,157 @@ def _add_worker_parser(subparsers) -> None:
     )
 
 
+def _add_serve_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "serve",
+        help="run the simulation service (HTTP/JSON jobs API)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default: 127.0.0.1; use 0.0.0.0 to "
+        "accept clients from other machines)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port to listen on (default: 0 = pick a free port, "
+        "printed at startup)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="engine worker processes fanning out within each job",
+    )
+    parser.add_argument(
+        "--max-jobs-per-client",
+        type=int,
+        default=8,
+        help="active (pending+running) jobs each client label may hold; "
+        "submissions beyond it get HTTP 429",
+    )
+    parser.add_argument(
+        "--chunk-points",
+        type=int,
+        default=None,
+        help="scenario points per engine batch; smaller chunks give "
+        "finer-grained cancellation and progress events (default: the "
+        "whole job as one batch)",
+    )
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="drain and exit after this many finished jobs (testing aid)",
+    )
+    _add_backend_flags(parser)
+    _add_cache_flags(parser)
+    _add_fast_forward_flag(parser)
+
+
+def _add_client_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "client",
+        help="talk to a running simulation service (see 'serve')",
+    )
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="service base URL, e.g. http://127.0.0.1:8080",
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=60.0,
+        help="per-request timeout in seconds",
+    )
+    parser.add_argument(
+        "--client",
+        dest="client_label",
+        default=None,
+        help="client label for quota accounting (default: anonymous)",
+    )
+    actions = parser.add_subparsers(dest="action", required=True)
+    actions.add_parser("health", help="check service liveness")
+    actions.add_parser(
+        "stats", help="engine/cache/quota/coalescer counters"
+    )
+    jobs = actions.add_parser("jobs", help="list jobs on the service")
+    jobs.add_argument(
+        "--of", default=None, metavar="CLIENT",
+        help="only jobs submitted under this client label",
+    )
+    run = actions.add_parser("run", help="submit a single-scenario job")
+    run.add_argument("apps", nargs="+", help="Table II ids (A1..A11)")
+    run.add_argument(
+        "--scheme", default=Scheme.BASELINE, choices=scheme_names()
+    )
+    run.add_argument("--windows", type=int, default=1)
+    run.add_argument(
+        "--wait", action="store_true",
+        help="block until terminal and print the result payload",
+    )
+    grid = actions.add_parser(
+        "grid", help="submit a compare-grid job (app sets x schemes)"
+    )
+    grid.add_argument(
+        "--apps",
+        dest="app_sets",
+        nargs="+",
+        action="append",
+        required=True,
+        metavar="APP",
+        help="one app set per --apps flag (repeat the flag per set)",
+    )
+    grid.add_argument(
+        "--schemes", nargs="+", required=True, choices=scheme_names()
+    )
+    grid.add_argument("--windows", type=int, default=1)
+    grid.add_argument(
+        "--wait", action="store_true",
+        help="block until terminal and print the result payload",
+    )
+    submit = actions.add_parser(
+        "submit", help="submit a raw JSON job spec"
+    )
+    submit.add_argument(
+        "spec", help="path to a JSON job-spec file, or '-' for stdin"
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until terminal and print the result payload",
+    )
+    status = actions.add_parser("status", help="one job's summary")
+    status.add_argument("job", help="job id (e.g. j1)")
+    result = actions.add_parser(
+        "result", help="a terminal job's result artifacts"
+    )
+    result.add_argument("job", help="job id (e.g. j1)")
+    cancel = actions.add_parser("cancel", help="cancel a job")
+    cancel.add_argument("job", help="job id (e.g. j1)")
+    events = actions.add_parser(
+        "events", help="stream a job's NDJSON event records"
+    )
+    events.add_argument("job", help="job id (e.g. j1)")
+    events.add_argument(
+        "--no-follow",
+        action="store_true",
+        help="replay recorded events and exit instead of following",
+    )
+    wait = actions.add_parser(
+        "wait", help="block until a job is terminal"
+    )
+    wait.add_argument("job", help="job id (e.g. j1)")
+    wait.add_argument(
+        "--for-s",
+        type=float,
+        default=300.0,
+        help="give up after this many seconds",
+    )
+
+
 def _add_lint_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "lint",
@@ -310,6 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_parser(subparsers)
     _add_cache_parser(subparsers)
     _add_worker_parser(subparsers)
+    _add_serve_parser(subparsers)
+    _add_client_parser(subparsers)
     _add_lint_parser(subparsers)
     return parser
 
@@ -527,6 +687,116 @@ def _cmd_worker(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .core import ScenarioEngine
+    from .core.engine import DEFAULT_MEMORY_CACHE_ENTRIES
+    from .serve import JobManager, ReproServer
+
+    # A service without cache_dir still wants the memory tier: repeat
+    # submissions after the in-flight window should hit cache, not
+    # resimulate (the engine's default only arms it alongside a disk
+    # tier).
+    engine = ScenarioEngine(
+        workers=args.workers,
+        memory_cache=DEFAULT_MEMORY_CACHE_ENTRIES,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        fast_forward=args.fast_forward,
+        backend=args.backend,
+        backend_hosts=args.backend_hosts,
+    )
+    manager = JobManager(
+        engine,
+        max_jobs_per_client=args.max_jobs_per_client,
+        chunk_points=args.chunk_points,
+    )
+    server = ReproServer(
+        manager, host=args.host, port=args.port, max_jobs=args.max_jobs
+    )
+
+    def ready(url: str) -> None:
+        # Machine-readable on purpose: scripts (and the CI smoke test)
+        # parse this line to learn an ephemeral port.
+        print(f"repro serve listening on {url}", flush=True)
+
+    try:
+        asyncio.run(server.run(ready))
+    except KeyboardInterrupt:
+        pass
+    print(f"repro serve stopped after {manager.jobs_finished} job(s)")
+    return 0
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    from .serve import ServeClient
+
+    client = ServeClient(args.url, timeout_s=args.timeout_s)
+
+    def show(payload) -> None:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+
+    if args.action == "health":
+        show(client.health())
+        return 0
+    if args.action == "stats":
+        show(client.stats())
+        return 0
+    if args.action == "jobs":
+        show(client.jobs(args.of))
+        return 0
+    if args.action in ("run", "grid", "submit"):
+        if args.action == "run":
+            spec = {
+                "kind": "run",
+                "apps": args.apps,
+                "scheme": args.scheme,
+                "windows": args.windows,
+            }
+        elif args.action == "grid":
+            spec = {
+                "kind": "grid",
+                "app_sets": args.app_sets,
+                "schemes": args.schemes,
+                "windows": args.windows,
+            }
+        else:
+            if args.spec == "-":
+                spec = json.load(sys.stdin)
+            else:
+                with open(args.spec, "r", encoding="utf-8") as handle:
+                    spec = json.load(handle)
+        if args.client_label is not None and isinstance(spec, dict):
+            spec.setdefault("client", args.client_label)
+        job = client.submit(spec)
+        if not args.wait:
+            show(job)
+            return 0
+        client.wait(job["id"])
+        show(client.result(job["id"]))
+        return 0
+    if args.action == "status":
+        show(client.job(args.job))
+        return 0
+    if args.action == "result":
+        show(client.result(args.job))
+        return 0
+    if args.action == "cancel":
+        show(client.cancel(args.job))
+        return 0
+    if args.action == "wait":
+        show(client.wait(args.job, timeout_s=args.for_s))
+        return 0
+    if args.action == "events":
+        for record in client.events(args.job, follow=not args.no_follow):
+            print(json.dumps(record, sort_keys=True), flush=True)
+        return 0
+    raise AssertionError(f"unhandled client action {args.action!r}")
+
+
 def _cmd_lint(args) -> int:
     from .analysis import (
         LintCache,
@@ -599,6 +869,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     if args.command == "lint":
         return _cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

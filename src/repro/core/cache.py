@@ -33,7 +33,7 @@ import pickle
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from .results import RunResult
 
@@ -56,6 +56,36 @@ class CacheStats:
     entries: int
     total_bytes: int
     shard_dirs: int
+
+
+@dataclass
+class ClientCacheStats:
+    """Cache traffic attributed to one client label.
+
+    The serve layer tags every engine call with the submitting client;
+    the tiered cache accumulates one of these per label so operators can
+    see who is riding the cache and who is paying for simulations.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Hits across both tiers."""
+        return self.memory_hits + self.disk_hits
+
+    def snapshot(self) -> dict:
+        """Plain JSON-able dict of the counters."""
+        return {
+            "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
 
 
 @dataclass(frozen=True)
@@ -298,32 +328,69 @@ class TieredResultCache:
     ) -> None:
         self.memory = memory
         self.disk = disk
+        #: Per-client traffic, keyed by the caller-supplied label; calls
+        #: without a label are not accounted (library-internal traffic).
+        self.client_stats: Dict[str, ClientCacheStats] = {}
 
     @property
     def enabled(self) -> bool:
         """Whether any tier is configured."""
         return self.memory is not None or self.disk is not None
 
-    def get(self, fingerprint: str) -> Optional[Tuple[str, RunResult]]:
+    def _client(self, client: Optional[str]) -> Optional[ClientCacheStats]:
+        if client is None:
+            return None
+        stats = self.client_stats.get(client)
+        if stats is None:
+            stats = self.client_stats[client] = ClientCacheStats()
+        return stats
+
+    def accounting(self) -> Dict[str, dict]:
+        """Per-client traffic snapshot, sorted by client label."""
+        return {
+            client: stats.snapshot()
+            for client, stats in sorted(self.client_stats.items())
+        }
+
+    def get(
+        self, fingerprint: str, client: Optional[str] = None
+    ) -> Optional[Tuple[str, RunResult]]:
         """``("memory"|"disk", result)`` on a hit, None on a miss.
 
         Disk hits are promoted into the memory tier so repeated lookups
-        in one process pay the pickle load once.
+        in one process pay the pickle load once.  ``client`` attributes
+        the lookup to a per-client accounting bucket (see
+        :class:`ClientCacheStats`).
         """
+        stats = self._client(client)
         if self.memory is not None:
             result = self.memory.get(fingerprint)
             if result is not None:
+                if stats is not None:
+                    stats.memory_hits += 1
                 return "memory", result
         if self.disk is not None:
             result = self.disk.load(fingerprint)
             if result is not None:
                 if self.memory is not None:
                     self.memory.put(fingerprint, result)
+                if stats is not None:
+                    stats.disk_hits += 1
                 return "disk", result
+        if stats is not None:
+            stats.misses += 1
         return None
 
-    def put(self, fingerprint: str, result: RunResult) -> None:
+    def put(
+        self,
+        fingerprint: str,
+        result: RunResult,
+        client: Optional[str] = None,
+    ) -> None:
         """Publish one (hub-stripped) result into every configured tier."""
+        stats = self._client(client)
+        if stats is not None:
+            stats.stores += 1
         if self.memory is not None:
             self.memory.put(fingerprint, result)
         if self.disk is not None:

@@ -356,6 +356,42 @@ class ScenarioEngine:
             return scenario
         return canonicalize_scenario(scenario)
 
+    def fingerprints(self, scenarios: Sequence[Scenario]) -> List[str]:
+        """Per-scenario fingerprints under this engine's configuration.
+
+        The coalescing hook for service layers: fingerprints honor the
+        engine's ``dedup`` and ``fast_forward`` settings, so two batches
+        with equal fingerprints would execute identically through this
+        engine.
+        """
+        started = time.perf_counter()
+        result = [
+            scenario_fingerprint(
+                scenario,
+                fast_forward=self.fast_forward,
+                canonical=self.dedup,
+            )
+            for scenario in scenarios
+        ]
+        self.metrics.fingerprint_wall_s += time.perf_counter() - started
+        return result
+
+    def batch_key(self, scenarios: Sequence[Scenario]) -> str:
+        """Digest identifying a whole batch of scenarios.
+
+        Batches with equal keys run the same points in the same order,
+        so an in-flight batch can serve every identical concurrent
+        request (request coalescing in ``repro serve``): the batch
+        executes once and the key's waiters all receive its results.
+        """
+        joined = "\n".join(self.fingerprints(scenarios))
+        return hashlib.sha256(joined.encode("ascii")).hexdigest()
+
+    @property
+    def cache_accounting(self) -> Dict[str, dict]:
+        """Per-client cache traffic (labels passed via ``client=``)."""
+        return self._cache.accounting()
+
     @staticmethod
     def _rebind(result: RunResult, scenario: Scenario) -> RunResult:
         """Present a result under the requesting scenario's identity.
@@ -404,13 +440,19 @@ class ScenarioEngine:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def run(self, scenario: Scenario) -> RunResult:
-        """Run one scenario: cache hit, or simulate (and populate cache)."""
+    def run(
+        self, scenario: Scenario, client: Optional[str] = None
+    ) -> RunResult:
+        """Run one scenario: cache hit, or simulate (and populate cache).
+
+        ``client`` attributes the cache traffic to a per-client bucket
+        (see :attr:`cache_accounting`); it never changes the result.
+        """
         started = time.perf_counter()
         fingerprint = None
         if self._cache.enabled:
             fingerprint = self._fingerprint(scenario)
-            hit = self._cache.get(fingerprint)
+            hit = self._cache.get(fingerprint, client=client)
             if hit is not None:
                 tier, cached = hit
                 self._note_cache_hit(tier)
@@ -427,12 +469,14 @@ class ScenarioEngine:
         self.metrics.scenarios_run += 1
         if fingerprint is not None:
             self.metrics.cache_misses += 1
-            self._cache.put(fingerprint, strip_hub(result))
+            self._cache.put(fingerprint, strip_hub(result), client=client)
             self._cache.maybe_gc()
         self.metrics.run_wall_s += time.perf_counter() - started
         return self._rebind(result, scenario)
 
-    def run_batch(self, scenarios: Sequence[Scenario]) -> List[Outcome]:
+    def run_batch(
+        self, scenarios: Sequence[Scenario], client: Optional[str] = None
+    ) -> List[Outcome]:
         """Run many scenarios; per-point outcomes in input order.
 
         Each outcome is either a :class:`RunResult` or the
@@ -443,7 +487,8 @@ class ScenarioEngine:
         Points sharing a (canonical) fingerprint are grouped: the first
         cache lookup serves the whole group, or one simulation of the
         canonical ordering fans out to every member (``dedup_hits``
-        counts the members beyond the first).
+        counts the members beyond the first).  ``client`` attributes the
+        batch's cache traffic per client; it never changes results.
         """
         started = time.perf_counter()
         outcomes: List[Optional[Outcome]] = [None] * len(scenarios)
@@ -463,7 +508,7 @@ class ScenarioEngine:
         for key in group_order:
             indices = members[key]
             if self._cache.enabled:
-                hit = self._cache.get(key)
+                hit = self._cache.get(key, client=client)
                 if hit is not None:
                     tier, cached = hit
                     self._note_cache_hit(tier, count=len(indices))
@@ -514,7 +559,7 @@ class ScenarioEngine:
             indices = members[key]
             if result is not None and self._cache.enabled:
                 self.metrics.cache_misses += 1
-                self._cache.put(key, strip_hub(result))
+                self._cache.put(key, strip_hub(result), client=client)
             self.metrics.dedup_hits += len(indices) - 1
             for position, index in enumerate(indices):
                 if error is not None:
@@ -533,10 +578,12 @@ class ScenarioEngine:
         self.metrics.run_wall_s += time.perf_counter() - started
         return [outcome for outcome in outcomes if outcome is not None]
 
-    def run_many(self, scenarios: Sequence[Scenario]) -> List[RunResult]:
+    def run_many(
+        self, scenarios: Sequence[Scenario], client: Optional[str] = None
+    ) -> List[RunResult]:
         """Like :meth:`run_batch`, but library errors raise immediately."""
         results: List[RunResult] = []
-        for outcome in self.run_batch(scenarios):
+        for outcome in self.run_batch(scenarios, client=client):
             if isinstance(outcome, ReproError):
                 raise outcome
             results.append(outcome)

@@ -81,3 +81,23 @@ class ChunkTaskError(BackendError):
 
 class ProtocolError(ReproError):
     """A protocol codec (CoAP, Blynk, M2X, JSON) rejected a message."""
+
+
+class ServeError(ReproError):
+    """The simulation service (``repro serve``) rejected a request."""
+
+
+class JobSpecError(ServeError):
+    """A submitted job specification is malformed (HTTP 400)."""
+
+
+class UnknownJobError(ServeError):
+    """A job id does not exist on this service (HTTP 404)."""
+
+
+class QuotaError(ServeError):
+    """A client exceeded its concurrent-job quota (HTTP 429)."""
+
+
+class ServiceClosedError(ServeError):
+    """The service is draining or closed and accepts no new jobs (HTTP 503)."""

@@ -31,17 +31,21 @@ from .export import (
 )
 from .metrics import EngineMetrics, Metrics, SpanStat
 from .recorder import NULL_RECORDER, NullRecorder, Span, TraceRecorder
+from .stream import SNAPSHOT_SCHEMA_VERSION, SnapshotStreamer, ndjson_line
 
 __all__ = [
     "EngineMetrics",
     "Metrics",
     "NULL_RECORDER",
     "NullRecorder",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SnapshotStreamer",
     "Span",
     "SpanStat",
     "TRACE_SCHEMA_VERSION",
     "TraceRecorder",
     "chrome_trace_events",
+    "ndjson_line",
     "read_jsonl",
     "render_summary",
     "write_chrome_trace",

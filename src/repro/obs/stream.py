@@ -1,0 +1,69 @@
+"""Streaming snapshot export: incremental NDJSON of live counters.
+
+The file exporters in :mod:`repro.obs.export` render a *finished*
+recorder; a long-running service needs the opposite — periodic
+snapshots of counters and span statistics **while** work is in flight,
+cheap enough to poll every few hundred milliseconds and quiet when
+nothing changed.  :class:`SnapshotStreamer` wraps any zero-argument
+snapshot source (an :meth:`~repro.obs.metrics.EngineMetrics.snapshot`,
+a :meth:`~repro.obs.metrics.Metrics.snapshot`, or any JSON-able dict
+factory) and emits a versioned record only when the snapshot differs
+from the previous poll.  ``repro serve`` streams these records to
+clients as NDJSON (``GET /jobs/{id}/events``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+#: Bump when the streamed record envelope changes shape.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def ndjson_line(record: Dict[str, Any]) -> str:
+    """One NDJSON line (sorted keys, no trailing newline) for a record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class SnapshotStreamer:
+    """Change-detecting poller over a snapshot source.
+
+    ``source`` is called on every :meth:`poll`; when its (JSON-canonical)
+    value differs from the previous poll, a record envelope is returned::
+
+        {"record": "snapshot", "schema": 1, "seq": 3,
+         "kind": "engine", "data": {...}}
+
+    Unchanged snapshots return ``None`` so callers can poll on a timer
+    without flooding their stream.  ``seq`` increases by one per emitted
+    record; the first poll always emits (sequence 0 establishes the
+    baseline for followers).
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], Dict[str, Any]],
+        kind: str = "engine",
+    ) -> None:
+        self._source = source
+        self.kind = kind
+        self.seq = 0
+        self._last: Optional[str] = None
+
+    def poll(self) -> Optional[Dict[str, Any]]:
+        """The next snapshot record, or ``None`` when nothing changed."""
+        data = self._source()
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        if canonical == self._last:
+            return None
+        self._last = canonical
+        record = {
+            "record": "snapshot",
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "seq": self.seq,
+            "kind": self.kind,
+            "data": json.loads(canonical),
+        }
+        self.seq += 1
+        return record

@@ -1,0 +1,54 @@
+"""Simulation-as-a-service: the ``repro serve`` HTTP layer.
+
+This package turns the library's :class:`~repro.core.engine.ScenarioEngine`
+into a long-running, multi-client service:
+
+* :mod:`repro.serve.jobs` — the :class:`JobManager`: queue, lifecycle
+  states, per-client quotas, request coalescing, chunked execution with
+  cancellation and progress events.
+* :mod:`repro.serve.app` — :class:`ReproServer`, the stdlib asyncio
+  HTTP/JSON front end (``repro serve``).
+* :mod:`repro.serve.client` — :class:`ServeClient`, the blocking
+  :mod:`urllib` client behind ``repro client``.
+* :mod:`repro.serve.artifacts` — versioned, bit-stable JSON run
+  artifacts shared by server and clients.
+* :mod:`repro.serve.quota` / :mod:`repro.serve.coalesce` /
+  :mod:`repro.serve.router` — the supporting pieces.
+
+See ``docs/serve.md`` for the full API reference.
+"""
+
+from .app import ReproServer
+from .artifacts import (
+    ARTIFACT_VERSION,
+    canonical_json,
+    error_artifact,
+    json_safe,
+    result_artifact,
+    scenario_descriptor,
+)
+from .client import ServeClient, collect_events
+from .coalesce import RequestCoalescer
+from .jobs import Job, JobManager, JobState, scenarios_from_spec
+from .quota import ClientQuota
+from .router import Route, Router
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "ClientQuota",
+    "Job",
+    "JobManager",
+    "JobState",
+    "ReproServer",
+    "RequestCoalescer",
+    "Route",
+    "Router",
+    "ServeClient",
+    "canonical_json",
+    "collect_events",
+    "error_artifact",
+    "json_safe",
+    "result_artifact",
+    "scenario_descriptor",
+    "scenarios_from_spec",
+]

@@ -1,0 +1,124 @@
+"""Versioned run artifacts: the JSON the service hands back to clients.
+
+A service response must outlive the process that computed it, so the
+artifact layout is explicit and versioned (``ARTIFACT_VERSION``) rather
+than a pickled :class:`~repro.core.results.RunResult`.  Each *point*
+artifact pins the scenario identity (fingerprint + descriptor), every
+scalar the paper's figures are built from (duration, per-routine and
+per-component energy, busy times, interrupt/wake/bus counters) and the
+apps' functional payloads — enough for a client to rebuild any table or
+figure without re-running the simulation.
+
+Bit-identity matters: the same :class:`RunResult` always serializes to
+the same artifact (sorted keys, ``repr``-round-trip floats), so the CI
+``serve`` job can diff a service response against a direct
+:func:`~repro.core.compare.compare_grid` call byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..core.results import RunResult
+from ..core.scenario import Scenario
+from ..errors import ReproError
+
+#: Bump when the artifact payload layout changes shape.
+ARTIFACT_VERSION = 1
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert a payload to plain JSON-able Python types.
+
+    App payloads may carry numpy scalars or arrays (``.item()`` /
+    ``.tolist()`` duck-typed here), tuples, or nested dicts; everything
+    else must already be JSON-representable.
+    """
+    if isinstance(value, dict):
+        return {str(key): json_safe(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(inner) for inner in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # ndarray-like
+        return json_safe(tolist())
+    item = getattr(value, "item", None)
+    if callable(item):  # numpy scalar
+        return item()
+    return repr(value)
+
+
+def scenario_descriptor(scenario: Scenario) -> Dict[str, Any]:
+    """The JSON identity of one scenario (what the client asked for)."""
+    return {
+        "name": scenario.name,
+        "scheme": scenario.scheme,
+        "apps": [app.table2_id for app in scenario.apps],
+        "windows": scenario.windows,
+        "batch_size": scenario.batch_size,
+    }
+
+
+def result_artifact(
+    result: RunResult, fingerprint: Optional[str] = None
+) -> Dict[str, Any]:
+    """One point's versioned artifact: scenario, fingerprint, metrics.
+
+    The layout is stable for a given ``ARTIFACT_VERSION``; floats keep
+    their full ``repr`` precision through JSON, so equal results produce
+    byte-identical artifacts.
+    """
+    energy = result.energy
+    return {
+        "artifact_version": ARTIFACT_VERSION,
+        "fingerprint": fingerprint,
+        "scenario": {
+            "name": result.scenario_name,
+            "scheme": result.scheme,
+            "apps": list(result.app_ids),
+            "windows": result.windows,
+        },
+        "metrics": {
+            "duration_s": result.duration_s,
+            "energy": {
+                "total_j": energy.total_j,
+                "marginal_j": energy.marginal_j,
+                "idle_floor_j": energy.idle_floor_j,
+                "by_routine": dict(sorted(energy.by_routine.items())),
+                "by_component": dict(sorted(energy.by_component.items())),
+            },
+            "busy_times": dict(sorted(result.busy_times.items())),
+            "total_busy_s": result.total_busy_s,
+            "interrupts": result.interrupt_count,
+            "cpu_wakes": result.cpu_wake_count,
+            "bus_bytes": result.bus_bytes,
+            "qos_violations": list(result.qos_violations),
+            "results_ok": result.results_ok,
+        },
+        "results": {
+            app: json_safe([r.payload for r in results])
+            for app, results in sorted(result.app_results.items())
+        },
+        "result_times": {
+            app: list(times)
+            for app, times in sorted(result.result_times.items())
+        },
+    }
+
+
+def error_artifact(error: ReproError) -> Dict[str, Any]:
+    """One failed point's artifact: error type and message."""
+    return {
+        "artifact_version": ARTIFACT_VERSION,
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+        },
+    }
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text (sorted keys) for byte-level comparison."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

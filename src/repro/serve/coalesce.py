@@ -1,0 +1,66 @@
+"""Request coalescing: identical in-flight batches execute once.
+
+Many clients asking "what does this app mix cost under scheme X" at the
+same moment would each burn a full simulation without coordination.
+The engine's :meth:`~repro.core.engine.ScenarioEngine.batch_key` gives
+every job a deterministic identity; :class:`RequestCoalescer` maps keys
+of *in-flight* (pending or running) jobs to the job executing them, so
+an identical submission attaches as a waiter instead of enqueueing a
+second execution.  Completed batches are not tracked here — the
+engine's :class:`~repro.core.cache.TieredResultCache` already serves
+those, fingerprint by fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class RequestCoalescer:
+    """In-flight batch-key → primary-job-id index with counters.
+
+    Single-threaded by construction (event-loop only), like the rest of
+    the job manager's bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, str] = {}
+        #: Jobs that attached to an in-flight primary instead of running.
+        self.coalesced = 0
+        #: Keys registered as primaries (one per executed batch).
+        self.registered = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def lookup(self, key: str) -> Optional[str]:
+        """Primary job id currently executing ``key``, if any."""
+        return self._inflight.get(key)
+
+    def register(self, key: str, job_id: str) -> None:
+        """Record ``job_id`` as the primary for ``key``."""
+        self._inflight[key] = job_id
+        self.registered += 1
+
+    def note_coalesced(self) -> None:
+        """Count one submission that attached to an in-flight primary."""
+        self.coalesced += 1
+
+    def clear(self, key: str, job_id: Optional[str] = None) -> None:
+        """Drop ``key`` from the in-flight index.
+
+        With ``job_id`` given, the entry is only dropped when it still
+        points at that job — a promoted waiter that re-registered the
+        key must not be unregistered by its predecessor's cleanup.
+        """
+        if job_id is not None and self._inflight.get(key) != job_id:
+            return
+        self._inflight.pop(key, None)
+
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-able counters: in-flight keys, primaries, coalesced jobs."""
+        return {
+            "inflight": len(self._inflight),
+            "registered": self.registered,
+            "coalesced": self.coalesced,
+        }

@@ -1,0 +1,64 @@
+"""Per-client concurrency quotas for the simulation service.
+
+A shared service needs fairness at the front door: one client with a
+for-loop must not be able to queue a thousand grids and starve everyone
+else.  :class:`ClientQuota` bounds the number of *active* (pending or
+running, including coalesced-waiter) jobs each client label may hold at
+once; submissions beyond the bound are rejected with
+:class:`~repro.errors.QuotaError`, which the HTTP layer maps to ``429``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import QuotaError
+
+
+class ClientQuota:
+    """Bounded count of active jobs per client label.
+
+    Single-threaded by construction: the job manager mutates quotas only
+    from the service's event loop, so no locking is needed.
+    """
+
+    def __init__(self, max_active: int = 8) -> None:
+        if max_active < 1:
+            raise ValueError(
+                f"need at least one active job per client, got {max_active}"
+            )
+        self.max_active = int(max_active)
+        self._active: Dict[str, int] = {}
+        #: Submissions rejected over quota since construction.
+        self.rejections = 0
+
+    def active(self, client: str) -> int:
+        """Currently-held slots of one client."""
+        return self._active.get(client, 0)
+
+    def acquire(self, client: str) -> None:
+        """Take one slot for ``client`` or raise :class:`QuotaError`."""
+        held = self._active.get(client, 0)
+        if held >= self.max_active:
+            self.rejections += 1
+            raise QuotaError(
+                f"client {client!r} already has {held} active job(s); "
+                f"the per-client limit is {self.max_active}"
+            )
+        self._active[client] = held + 1
+
+    def release(self, client: str) -> None:
+        """Return one slot; unknown/empty clients are a no-op."""
+        held = self._active.get(client, 0)
+        if held <= 1:
+            self._active.pop(client, None)
+        else:
+            self._active[client] = held - 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-able view: limit, rejections, per-client active counts."""
+        return {
+            "max_active_per_client": self.max_active,
+            "rejections": self.rejections,
+            "active": dict(sorted(self._active.items())),
+        }

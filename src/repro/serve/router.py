@@ -1,0 +1,87 @@
+"""A tiny method+path router for the stdlib HTTP front end.
+
+``repro serve`` deliberately avoids web frameworks (the container ships
+only the standard library), so routing is a list of
+(method, pattern, handler) triples.  Patterns are literal paths whose
+``{name}`` segments capture one path component; the first match wins.
+The router distinguishes *no such path* (404) from *path exists but not
+with that method* (405) so clients get accurate errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routable endpoint: method, ``{param}`` pattern, handler."""
+
+    method: str
+    pattern: str
+    handler: Callable
+
+    @property
+    def segments(self) -> Tuple[str, ...]:
+        """The pattern split into path components (no empty leading one)."""
+        return tuple(part for part in self.pattern.split("/") if part)
+
+    def match(self, path: str) -> Optional[Dict[str, str]]:
+        """Captured params when ``path`` matches this pattern, else None."""
+        parts = tuple(part for part in path.split("/") if part)
+        if len(parts) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for want, got in zip(self.segments, parts):
+            if want.startswith("{") and want.endswith("}"):
+                params[want[1:-1]] = got
+            elif want != got:
+                return None
+        return params
+
+
+@dataclass
+class Match:
+    """Routing outcome: a handler + params, or a 404/405 status."""
+
+    status: int
+    handler: Optional[Callable] = None
+    params: Optional[Dict[str, str]] = None
+    allowed: Sequence[str] = ()
+
+
+class Router:
+    """First-match route table over :class:`Route` entries."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(self, method: str, pattern: str, handler: Callable) -> None:
+        """Register a handler for ``method pattern``."""
+        self._routes.append(Route(method.upper(), pattern, handler))
+
+    @property
+    def routes(self) -> List[Route]:
+        """The registered routes, in registration order."""
+        return list(self._routes)
+
+    def resolve(self, method: str, path: str) -> Match:
+        """Find the handler for a request line.
+
+        Returns a :class:`Match` with status 200 and the handler on
+        success, 405 (with the allowed methods) when only the method is
+        wrong, and 404 when nothing matches the path at all.
+        """
+        method = method.upper()
+        allowed: List[str] = []
+        for route in self._routes:
+            params = route.match(path)
+            if params is None:
+                continue
+            if route.method == method:
+                return Match(200, route.handler, params)
+            allowed.append(route.method)
+        if allowed:
+            return Match(405, allowed=sorted(set(allowed)))
+        return Match(404)

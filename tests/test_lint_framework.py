@@ -196,15 +196,16 @@ class TestRepoIsClean:
 
     def test_every_rule_family_fires_somewhere(self):
         """Each family detects a deliberately-injected violation."""
+        doc = '"""Doc."""\n'
         injected = {
-            "units": ("x = duration_s * 1e3\n", "src/repro/any.py"),
+            "units": (doc + "x = duration_s * 1e3\n", "src/repro/any.py"),
             "det": (
-                "import time\nt = time.time()\n",
+                doc + "import time\nt = time.time()\n",
                 "src/repro/sim/any.py",
             ),
-            "err": ("raise RuntimeError('x')\n", "src/repro/any.py"),
+            "err": (doc + "raise RuntimeError('x')\n", "src/repro/any.py"),
             "scheme": (
-                'def helper():\n    """Doc."""\n    return 1\n',
+                doc + 'def helper():\n    """Doc."""\n    return 1\n',
                 "src/repro/core/schemes/any.py",
             ),
             "docs": ("def helper():\n    return 1\n", "src/repro/any.py"),

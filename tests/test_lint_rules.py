@@ -14,6 +14,9 @@ NEUTRAL_PATH = "src/repro/hubos/fixture.py"
 
 
 def rule_ids(source, path=NEUTRAL_PATH, **kwargs):
+    # Fixtures are bare snippets; the module-docstring rule has its own
+    # test class below and would otherwise fire on every one of them.
+    kwargs.setdefault("ignore", ["docs-missing-module-docstring"])
     return [
         finding.rule_id
         for finding in lint_source(textwrap.dedent(source), path, **kwargs)
@@ -60,9 +63,10 @@ class TestUnitsMagicLiteral:
         assert rule_ids(snippet) == []
 
     def test_suggests_the_right_helper(self):
-        findings = lint_source("x = interval_us * 1e-6", NEUTRAL_PATH)
+        doc = '"""Doc."""\n'
+        findings = lint_source(doc + "x = interval_us * 1e-6", NEUTRAL_PATH)
         assert "units.us()" in findings[0].message
-        findings = lint_source("x = total_j * 1e3", NEUTRAL_PATH)
+        findings = lint_source(doc + "x = total_j * 1e3", NEUTRAL_PATH)
         assert "units.to_mj()" in findings[0].message
 
 
@@ -281,7 +285,9 @@ class TestSchemeContract:
 
     def test_knob_typo_is_flagged(self):
         src = GOOD_SCHEME.replace("cpu_starts_awake", "cpu_start_awake")
-        findings = lint_source(textwrap.dedent(src), SCHEME_PATH)
+        findings = lint_source(
+            '"""Doc."""\n' + textwrap.dedent(src), SCHEME_PATH
+        )
         assert [f.rule_id for f in findings] == ["scheme-unknown-knob"]
         assert "cpu_start_awake" in findings[0].message
 
@@ -293,7 +299,9 @@ class TestSchemeContract:
                 ctx.hub = None
             """
         )
-        findings = lint_source(textwrap.dedent(src), SCHEME_PATH)
+        findings = lint_source(
+            '"""Doc."""\n' + textwrap.dedent(src), SCHEME_PATH
+        )
         assert [f.rule_id for f in findings] == ["scheme-ctx-rebind"]
         assert "ctx.hub" in findings[0].message
 
@@ -413,16 +421,19 @@ class TestBackendContract:
 # ----------------------------------------------------------------------
 class TestDocsMissingDocstring:
     def test_flags_public_function_without_docstring(self):
-        findings = lint_source("def helper():\n    return 1", NEUTRAL_PATH)
+        findings = lint_source(
+            '"""Doc."""\ndef helper():\n    return 1', NEUTRAL_PATH
+        )
         assert [f.rule_id for f in findings] == ["docs-missing-docstring"]
         assert "'helper'" in findings[0].message
 
     def test_flags_public_class_and_method(self):
-        src = """
+        src = '''
+        """Doc."""
         class Widget:
             def spin(self):
                 return 1
-        """
+        '''
         findings = lint_source(textwrap.dedent(src), NEUTRAL_PATH)
         messages = [f.message for f in findings]
         assert len(findings) == 2
@@ -490,3 +501,31 @@ class TestDocsMissingDocstring:
 
     def test_not_scoped_outside_repro(self):
         assert rule_ids("def helper():\n    return 1", path="tools/x.py") == []
+
+
+class TestDocsMissingModuleDocstring:
+    def module_ids(self, source, path=NEUTRAL_PATH):
+        return rule_ids(source, path=path, ignore=())
+
+    def test_flags_public_module_without_docstring(self):
+        findings = lint_source("x = 1\n", NEUTRAL_PATH)
+        assert [f.rule_id for f in findings] == [
+            "docs-missing-module-docstring"
+        ]
+        assert "fixture.py" in findings[0].message
+
+    def test_documented_module_passes(self):
+        assert self.module_ids('"""Doc."""\nx = 1\n') == []
+
+    def test_package_init_is_covered(self):
+        path = "src/repro/serve/__init__.py"
+        assert self.module_ids("x = 1\n", path=path) == [
+            "docs-missing-module-docstring"
+        ]
+
+    def test_private_module_is_exempt(self):
+        path = "src/repro/hubos/_internal.py"
+        assert self.module_ids("x = 1\n", path=path) == []
+
+    def test_not_scoped_outside_repro(self):
+        assert self.module_ids("x = 1\n", path="tools/x.py") == []

@@ -3,11 +3,13 @@
 
 Scans tracked ``*.md`` files for inline links and flags any whose
 target does not exist on disk.  External schemes (``http``, ``https``,
-``mailto``) and pure in-page anchors (``#section``) are skipped;
-``path#anchor`` links are checked for the path part only (anchor slugs
-are viewer-specific).  Generated reference files (paper metadata,
-retrieval dumps) are excluded — their links point at sources this repo
-does not vendor.
+``mailto``) are skipped.  Anchors are verified too: a pure in-page
+link (``#section``) must match a heading in the same file, and a
+``path.md#section`` link must match a heading in the target file,
+using GitHub's slug rules (lowercase, punctuation stripped, spaces to
+hyphens, ``-N`` suffixes for duplicates).  Generated reference files
+(paper metadata, retrieval dumps) are excluded — their links point at
+sources this repo does not vendor.
 
 Usage::
 
@@ -22,7 +24,7 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 #: Generated/retrieved files whose external references are not vendored.
 EXCLUDED_FILES = {"PAPER.md", "PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
@@ -36,6 +38,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
 #: A fenced code block delimiter; links inside fences are examples.
 FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+#: An ATX heading: one to six ``#`` then the title text.
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 
 
 def iter_markdown_files(root: Path) -> Iterator[Path]:
@@ -63,30 +68,87 @@ def iter_links(text: str) -> Iterator[Tuple[int, str]]:
 
 def is_external(target: str) -> bool:
     """True for links this checker deliberately does not verify."""
-    return target.startswith(
-        ("http://", "https://", "mailto:", "ftp://")
-    ) or target.startswith("#")
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
 
 
-def check_file(path: Path, root: Path) -> List[str]:
+def slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: the base form, no dedup suffix."""
+    kept = [
+        ch
+        for ch in heading.strip().lower()
+        if ch.isalnum() or ch in "-_ "
+    ]
+    return "".join(kept).replace(" ", "-")
+
+
+def heading_slugs(text: str) -> Set[str]:
+    """Every anchor a markdown file exposes, duplicate suffixes included."""
+    slugs: Set[str] = set()
+    counts: Dict[str, int] = {}
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        # Inline markup renders as text: [x](y) -> x, `x` -> x.
+        title = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", match.group(2))
+        base = slugify(title)
+        seen = counts.get(base, 0)
+        counts[base] = seen + 1
+        slugs.add(base if seen == 0 else f"{base}-{seen}")
+    return slugs
+
+
+class AnchorIndex:
+    """Lazily-built map of markdown file -> its heading anchors."""
+
+    def __init__(self) -> None:
+        self._slugs: Dict[Path, Set[str]] = {}
+
+    def slugs_for(self, path: Path) -> Set[str]:
+        """The anchor set of ``path`` (cached)."""
+        resolved = path.resolve()
+        if resolved not in self._slugs:
+            self._slugs[resolved] = heading_slugs(
+                resolved.read_text(encoding="utf-8")
+            )
+        return self._slugs[resolved]
+
+
+def check_file(path: Path, root: Path, anchors: AnchorIndex) -> List[str]:
     """Return one problem string per broken link in ``path``."""
     problems: List[str] = []
     text = path.read_text(encoding="utf-8")
     for lineno, target in iter_links(text):
         if is_external(target):
             continue
-        # Strip any anchor; only the file half is checkable offline.
-        file_part = target.split("#", 1)[0]
-        if not file_part:
-            continue
-        if file_part.startswith("/"):
-            resolved = root / file_part.lstrip("/")
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            if file_part.startswith("/"):
+                resolved = root / file_part.lstrip("/")
+            else:
+                resolved = path.parent / file_part
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(root)}:{lineno}: "
+                    f"broken link -> {target}"
+                )
+                continue
         else:
-            resolved = path.parent / file_part
-        if not resolved.exists():
+            resolved = path
+        if not anchor:
+            continue
+        if resolved.suffix != ".md" or resolved.name in EXCLUDED_FILES:
+            continue  # anchors into non-markdown targets are viewer-defined
+        if anchor.lower() not in anchors.slugs_for(resolved):
             problems.append(
                 f"{path.relative_to(root)}:{lineno}: "
-                f"broken link -> {target}"
+                f"broken anchor -> {target}"
             )
     return problems
 
@@ -97,9 +159,10 @@ def main(argv: List[str]) -> int:
     root = root.resolve()
     problems: List[str] = []
     checked = 0
+    anchors = AnchorIndex()
     for path in iter_markdown_files(root):
         checked += 1
-        problems.extend(check_file(path, root))
+        problems.extend(check_file(path, root, anchors))
     for problem in problems:
         print(problem)
     print(

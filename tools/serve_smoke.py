@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the simulation service (CI ``serve`` job).
+
+Spawns ``repro serve`` as a subprocess, then drives a scripted client
+session against it over real HTTP:
+
+1. health check and service descriptor;
+2. a burst of identical grid submissions — all but the first must
+   coalesce onto one execution (verified against the engine's
+   ``scenarios_run`` counter via ``/stats``);
+3. progress/event streaming for the finished job;
+4. a cancel round trip;
+5. result download, compared **byte for byte** against a direct
+   in-process :func:`repro.core.compare.compare_grid` call serialized
+   through the same artifact layer.
+
+Usage::
+
+    python tools/serve_smoke.py [--backend serial|process] [--burst K]
+
+Exit code 0 when every check passes.  Stdlib + repro only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import threading
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.compare import compare_grid  # noqa: E402
+from repro.serve import ServeClient, canonical_json, result_artifact  # noqa: E402
+
+#: The grid the whole smoke session revolves around.
+APP_SETS = [["A1"], ["A2", "A4"]]
+SCHEMES = ["baseline", "batching"]
+WINDOWS = 1
+
+
+def _check(condition: bool, label: str) -> None:
+    """Print a PASS/FAIL line; raise on failure."""
+    print(f"  [{'PASS' if condition else 'FAIL'}] {label}")
+    if not condition:
+        raise SystemExit(f"serve smoke failed: {label}")
+
+
+def start_server(backend: str) -> "tuple[subprocess.Popen, str]":
+    """Spawn ``repro serve`` and parse its startup line for the URL."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--backend",
+            backend,
+            "--chunk-points",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.stdout is not None
+    line = proc.stdout.readline()
+    match = re.search(r"listening on (\S+)", line)
+    if match is None:
+        proc.terminate()
+        raise SystemExit(f"no startup line from repro serve, got: {line!r}")
+    return proc, match.group(1)
+
+
+def main(argv: List[str]) -> int:
+    """Run the scripted session; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default="serial")
+    parser.add_argument("--burst", type=int, default=4)
+    args = parser.parse_args(argv[1:])
+
+    print(f"== starting repro serve (backend={args.backend}) ==")
+    proc, url = start_server(args.backend)
+    try:
+        client = ServeClient(url)
+
+        print("== health ==")
+        health = client.health()
+        _check(health.get("ok") is True, "service reports healthy")
+        index = client.index()
+        _check("endpoints" in index, "service descriptor lists endpoints")
+
+        print(f"== burst of {args.burst} identical grid submissions ==")
+        jobs: List[dict] = []
+        errors: List[Exception] = []
+        lock = threading.Lock()
+
+        def submit() -> None:
+            try:
+                job = client.grid(
+                    APP_SETS, SCHEMES, windows=WINDOWS, client="smoke"
+                )
+                with lock:
+                    jobs.append(job)
+            except Exception as exc:  # noqa: BLE001 - smoke harness
+                with lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit) for _ in range(args.burst)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        _check(not errors, f"all {args.burst} submissions accepted")
+        finals = [client.wait(job["id"]) for job in jobs]
+        _check(
+            all(final["state"] == "done" for final in finals),
+            "every job reached state=done",
+        )
+        stats = client.stats()
+        expected_points = len(APP_SETS) * len(SCHEMES)
+        ran = stats["engine"]["scenarios_run"]
+        _check(
+            ran == expected_points,
+            f"engine simulated {expected_points} points exactly once "
+            f"(scenarios_run={ran})",
+        )
+        coalesced = stats["coalescer"]["coalesced"]
+        _check(
+            coalesced >= args.burst - 1,
+            f"{args.burst - 1}+ submissions coalesced (got {coalesced})",
+        )
+
+        print("== event stream ==")
+        records = list(client.events(jobs[0]["id"], follow=False))
+        kinds = [record["record"] for record in records]
+        _check("state" in kinds, "stream carries state transitions")
+        _check("progress" in kinds, "stream carries progress records")
+        _check("snapshot" in kinds, "stream carries engine snapshots")
+
+        print("== cancel round trip ==")
+        extra = client.grid(APP_SETS, SCHEMES, windows=2, client="smoke")
+        cancelled = client.cancel(extra["id"])
+        _check(
+            cancelled["state"] in ("cancelled", "running", "done"),
+            "cancel endpoint responds with a valid state",
+        )
+        client.wait(extra["id"])
+
+        print("== bit-identity vs direct compare_grid ==")
+        payload = client.result(jobs[0]["id"])
+        grid = compare_grid(APP_SETS, SCHEMES, windows=WINDOWS)
+        direct = [
+            result_artifact(grid[tuple(apps)][scheme])
+            for apps in APP_SETS
+            for scheme in SCHEMES
+        ]
+        served = payload["points"]
+        _check(
+            len(served) == len(direct), "point counts match the grid"
+        )
+        for position, (ours, theirs) in enumerate(zip(direct, served)):
+            theirs = dict(theirs)
+            theirs["fingerprint"] = None  # direct call carries no job id
+            _check(
+                canonical_json(ours) == canonical_json(theirs),
+                f"point {position} is byte-identical",
+            )
+        print("serve smoke: all checks passed")
+        return 0
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
