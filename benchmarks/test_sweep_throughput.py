@@ -32,7 +32,7 @@ import time
 from conftest import run_once
 from test_fig11_multi_app import SCHEMES, fig11_factory, fig11_grid
 
-from repro.core import ScenarioEngine, WorkerAgent, run_sweep
+from repro.core import ANALYTIC_RTOL, ScenarioEngine, WorkerAgent, run_sweep
 from repro.core.backends import backend_names
 from repro.workloads import FIG11_COMBOS
 
@@ -62,7 +62,7 @@ def _update_baseline(section: str, payload: dict) -> None:
         document = _load_baseline()
     except FileNotFoundError:
         document = {}
-    document["version"] = 2
+    document["version"] = 3
     document[section] = payload
     with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
@@ -285,5 +285,109 @@ def test_backend_dimension_parity(benchmark, figure_printer):
             f"{session[1]['backend_retries']} retried"
             for name, session in sorted(sessions.items())
         ),
+    )
+    assert counters == baseline["deterministic"]
+
+
+# ----------------------------------------------------------------------
+# fidelity dimension: the auto planner answers the session analytically
+# ----------------------------------------------------------------------
+
+def _run_session_auto():
+    """The warm session again, answered by the tiered-fidelity planner."""
+    with ScenarioEngine(
+        workers=WARM_WORKERS, memory_cache=128, backend="process",
+        fidelity="auto",
+    ) as engine:
+        sweeps = []
+        for grid in (permuted_grid(), fig11_grid(), fig11_grid()):
+            sweeps.append(run_sweep(grid, fig11_factory, engine=engine))
+        counters = {
+            key: value
+            for key, value in engine.metrics.snapshot().items()
+            if isinstance(value, int)
+        }
+    return sweeps, counters
+
+
+def test_fidelity_dimension_auto_planner(benchmark, figure_printer):
+    """``fidelity="auto"`` answers the 168-point session with >= 10x
+    fewer DES scenario runs than session points, stays bit-identical to
+    the DES on every confirmed frontier point and within the validated
+    tolerance band on the analytic remainder, with exact planner
+    counters against the committed baseline."""
+
+    def measure():
+        started = time.perf_counter()
+        sweeps, counters = _run_session_auto()
+        wall_s = time.perf_counter() - started
+        return sweeps, counters, wall_s
+
+    sweeps, counters, wall_s = run_once(benchmark, measure)
+    session_points = len(permuted_grid()) + 2 * len(fig11_grid())
+
+    # --- determinism: sweep outcomes --------------------------------
+    assert all(not sweep.failed for sweep in sweeps)
+    auto_a = [point.result for point in sweeps[0]]
+    assert {result.fidelity for result in auto_a} == {"analytic", "des"}
+
+    # --- the perf guard: >= 10x fewer DES runs than session points --
+    assert counters["scenarios_run"] * 10 <= session_points
+
+    # --- parity vs per-point serial DES execution -------------------
+    # Confirmed frontier points must be bit-identical; analytic points
+    # must land inside the validated tolerance band.  A sample of each
+    # keeps the reference pass cheap.
+    serial = ScenarioEngine()
+    grid_a = permuted_grid()
+    confirmed = [
+        index for index, result in enumerate(auto_a)
+        if result.fidelity == "des"
+    ]
+    analytic = [
+        index for index, result in enumerate(auto_a)
+        if result.fidelity == "analytic"
+    ]
+    for index in confirmed[:4] + analytic[:4]:
+        reference = serial.run(fig11_factory(**grid_a[index]))
+        result = auto_a[index]
+        if result.fidelity == "des":
+            assert result.energy.total_j == reference.energy.total_j
+            assert result.duration_s == reference.duration_s
+        else:
+            assert abs(
+                result.energy.total_j - reference.energy.total_j
+            ) <= ANALYTIC_RTOL * abs(reference.energy.total_j)
+        assert result.interrupt_count == reference.interrupt_count
+
+    # --- deterministic counters vs committed baseline ---------------
+    if os.environ.get("REPRO_BENCH_UPDATE"):
+        _update_baseline(
+            "fidelity_dimension",
+            {
+                "session": {
+                    "backend": "process",
+                    "fidelity": "auto",
+                    "grids": ["fig11+reversed", "fig11", "fig11"],
+                    "points": [84, 42, 42],
+                    "warm_workers": WARM_WORKERS,
+                },
+                "deterministic": counters,
+                "wall_informational": {
+                    "generated_on": time.strftime("%Y-%m-%d"),
+                    "wall_s": round(wall_s, 4),
+                },
+            },
+        )
+    baseline = _load_baseline()["fidelity_dimension"]
+    figure_printer(
+        "Infra — fidelity dimension (auto planner)",
+        f"{session_points} points over 3 sweeps in {wall_s:.2f} s — "
+        f"{counters['analytic_evals']} analytic eval(s), "
+        f"{counters['frontier_points']} frontier, "
+        f"{counters['des_confirmations']} DES confirmation(s), "
+        f"{counters['scenarios_run']} DES sim(s) "
+        f"({session_points / max(1, counters['scenarios_run']):.1f}x fewer "
+        f"than points)",
     )
     assert counters == baseline["deterministic"]

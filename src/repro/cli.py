@@ -62,6 +62,7 @@ def _add_run_parser(subparsers) -> None:
     _add_backend_flags(parser)
     _add_cache_flags(parser)
     _add_fast_forward_flag(parser)
+    _add_fidelity_flag(parser)
 
 
 def _add_backend_flags(parser) -> None:
@@ -107,6 +108,21 @@ def _add_fast_forward_flag(parser) -> None:
     )
 
 
+def _add_fidelity_flag(parser) -> None:
+    from .core import FIDELITIES
+
+    parser.add_argument(
+        "--fidelity",
+        default="des",
+        choices=FIDELITIES,
+        help="des = discrete-event simulation (authoritative); "
+        "analytic = closed-form models (validated rtol vs the DES, "
+        "falls back to the DES outside their envelope); auto = answer "
+        "analytically, then DES-confirm only the per-app-set scheme "
+        "winners and within-band near-ties.",
+    )
+
+
 def _add_compare_parser(subparsers) -> None:
     parser = subparsers.add_parser(
         "compare", help="run apps under several schemes"
@@ -128,6 +144,7 @@ def _add_compare_parser(subparsers) -> None:
     _add_backend_flags(parser)
     _add_cache_flags(parser)
     _add_fast_forward_flag(parser)
+    _add_fidelity_flag(parser)
 
 
 def _add_cache_parser(subparsers) -> None:
@@ -259,6 +276,7 @@ def _add_serve_parser(subparsers) -> None:
     _add_backend_flags(parser)
     _add_cache_flags(parser)
     _add_fast_forward_flag(parser)
+    _add_fidelity_flag(parser)
 
 
 def _add_client_parser(subparsers) -> None:
@@ -300,6 +318,12 @@ def _add_client_parser(subparsers) -> None:
     )
     run.add_argument("--windows", type=int, default=1)
     run.add_argument(
+        "--fidelity",
+        default=None,
+        choices=["des", "analytic", "auto"],
+        help="execution tier for the job (default: the service's)",
+    )
+    run.add_argument(
         "--wait", action="store_true",
         help="block until terminal and print the result payload",
     )
@@ -319,6 +343,12 @@ def _add_client_parser(subparsers) -> None:
         "--schemes", nargs="+", required=True, choices=scheme_names()
     )
     grid.add_argument("--windows", type=int, default=1)
+    grid.add_argument(
+        "--fidelity",
+        default=None,
+        choices=["des", "analytic", "auto"],
+        help="execution tier for the job (default: the service's)",
+    )
     grid.add_argument(
         "--wait", action="store_true",
         help="block until terminal and print the result payload",
@@ -489,6 +519,7 @@ def _cmd_run(args) -> int:
         cache_max_bytes=args.cache_max_bytes,
         backend=args.backend,
         backend_hosts=args.backend_hosts,
+        fidelity=args.fidelity,
     )
     try:
         result = engine.run(scenario)
@@ -519,6 +550,7 @@ def _cmd_compare(args) -> int:
         cache_max_bytes=args.cache_max_bytes,
         backend=args.backend,
         backend_hosts=args.backend_hosts,
+        fidelity=args.fidelity,
     ) as engine:
         results = compare_schemes(
             args.apps,
@@ -649,6 +681,8 @@ def _cmd_cache(args) -> int:
         print(f"  entries:     {stats.entries}")
         print(f"  total bytes: {stats.total_bytes}")
         print(f"  shard dirs:  {stats.shard_dirs}")
+        for fidelity, count in cache.fidelity_counts().items():
+            print(f"  {fidelity + ':':<13}{count}")
         return 0
     if args.action == "clear":
         removed = cache.clear()
@@ -706,6 +740,7 @@ def _cmd_serve(args) -> int:
         fast_forward=args.fast_forward,
         backend=args.backend,
         backend_hosts=args.backend_hosts,
+        fidelity=args.fidelity,
     )
     manager = JobManager(
         engine,
@@ -756,6 +791,8 @@ def _cmd_client(args) -> int:
                 "scheme": args.scheme,
                 "windows": args.windows,
             }
+            if args.fidelity is not None:
+                spec["fidelity"] = args.fidelity
         elif args.action == "grid":
             spec = {
                 "kind": "grid",
@@ -763,6 +800,8 @@ def _cmd_client(args) -> int:
                 "schemes": args.schemes,
                 "windows": args.windows,
             }
+            if args.fidelity is not None:
+                spec["fidelity"] = args.fidelity
         else:
             if args.spec == "-":
                 spec = json.load(sys.stdin)

@@ -23,8 +23,20 @@ from .cache import (
     LRUResultCache,
     TieredResultCache,
 )
+from .analytic import (
+    ANALYTIC_RTOL,
+    AUTO_CONFIRM_BAND,
+    analytic_scenario_result,
+    supports_analytic,
+)
 from .compare import average_savings, compare_grid, compare_schemes, savings_table
-from .engine import ScenarioEngine, canonicalize_scenario, scenario_fingerprint
+from .engine import (
+    FIDELITIES,
+    ScenarioEngine,
+    canonicalize_scenario,
+    scenario_fingerprint,
+    scenario_group_key,
+)
 from .executor import ScenarioRunner, run_apps, run_scenario
 from .fastforward import try_fast_forward
 from .results import RunResult, routine_busy_times
@@ -40,9 +52,12 @@ from .pool import WorkerPool, adaptive_chunk_size
 from .sweeps import Sweep, SweepPoint, grid_of, run_sweep
 
 __all__ = [
+    "ANALYTIC_RTOL",
+    "AUTO_CONFIRM_BAND",
     "CacheStats",
     "DiskResultCache",
     "ExecutionBackend",
+    "FIDELITIES",
     "GcResult",
     "LRUResultCache",
     "OffloadReport",
@@ -62,6 +77,7 @@ __all__ = [
     "WorkerAgent",
     "WorkerPool",
     "adaptive_chunk_size",
+    "analytic_scenario_result",
     "average_savings",
     "backend_names",
     "canonicalize_scenario",
@@ -79,6 +95,8 @@ __all__ = [
     "run_sweep",
     "savings_table",
     "scenario_fingerprint",
+    "scenario_group_key",
     "scheme_names",
+    "supports_analytic",
     "try_fast_forward",
 ]

@@ -1,0 +1,139 @@
+"""Interval ledgers: power timelines without a power-state machine.
+
+The DES records every :class:`~repro.hw.power.PowerStateMachine`
+transition into a :class:`~repro.sim.trace.TimelineRecorder` and
+integrates afterwards.  The analytic models know their operation
+intervals up front, so a :class:`Timeline` here just collects
+``(time, state, power, routine)`` change events, replays them in time
+order and integrates piecewise — producing the same
+``by_component_routine`` and busy-time accounting as the DES recorder.
+
+Events may be emitted slightly out of order (the models interleave
+per-process chains); the replay sorts by time with a stable insertion
+sequence for ties, which matches the kernel's FIFO event ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...hw.power import BUSY_STATES, Routine
+
+#: One state-change event: (time, seq, state, power_w, routine, mode).
+#: ``mode`` is ``""`` for unconditional, ``"rest"`` for skipped-if-busy
+#: (another process took the core meanwhile) and ``"wake"`` for
+#: applied-only-if-still-sleeping (a mid-sleep operation may have woken
+#: the component before its scheduled wake, in which case the kernel's
+#: wake event never fires).
+_Event = Tuple[float, int, str, float, Optional[str], str]
+
+#: States a ``"wake"`` event can interrupt.
+SLEEP_STATES = frozenset({"sleep", "deep_sleep"})
+
+
+class Timeline:
+    """Piecewise power/state/routine history of one component."""
+
+    def __init__(
+        self,
+        component: str,
+        state: str,
+        power_w: float,
+        routine: str = Routine.IDLE,
+    ):
+        self.component = component
+        self._initial = (state, power_w, routine)
+        self._events: List[_Event] = []
+        self._seq = 0
+        #: Procedural view of the *latest emitted* state, for models that
+        #: need to know whether the component currently sleeps.  Only
+        #: meaningful while events are emitted in time order.
+        self.state = state
+        self.routine = routine
+
+    def set(
+        self,
+        t: float,
+        state: str,
+        power_w: float,
+        routine: Optional[str] = None,
+    ) -> None:
+        """Enter ``state`` at ``t``; ``routine=None`` keeps the current tag."""
+        self._events.append((t, self._seq, state, power_w, routine, ""))
+        self._seq += 1
+        self.state = state
+        if routine is not None:
+            self.routine = routine
+
+    def rest(
+        self,
+        t: float,
+        state: str,
+        power_w: float,
+        routine: Optional[str] = None,
+    ) -> None:
+        """Like :meth:`set`, but skipped at replay if the component is
+        busy at ``t`` — the governor-off ``rest()`` semantics (another
+        process may have started an operation in the meantime)."""
+        self._events.append((t, self._seq, state, power_w, routine, "rest"))
+        self._seq += 1
+
+    def wake(
+        self,
+        t: float,
+        state: str,
+        power_w: float,
+        routine: Optional[str] = None,
+    ) -> None:
+        """Like :meth:`set`, but applied at replay only while the
+        component still sleeps at ``t`` — a scheduled wake that a
+        mid-sleep operation (e.g. a rail read ending) may preempt."""
+        self._events.append((t, self._seq, state, power_w, routine, "wake"))
+        self._seq += 1
+        self.state = state
+        if routine is not None:
+            self.routine = routine
+
+    def segments(
+        self, end_time: float
+    ) -> Iterable[Tuple[float, float, str, float, str]]:
+        """Replay events; yields ``(t0, t1, state, power_w, routine)``."""
+        state, power, routine = self._initial
+        since = 0.0
+        for t, _, new_state, new_power, new_routine, mode in sorted(
+            self._events
+        ):
+            if mode == "rest" and state == "busy":
+                continue
+            if mode == "wake" and state not in SLEEP_STATES:
+                continue
+            if t > end_time:
+                break
+            if t > since:
+                yield (since, t, state, power, routine)
+                since = t
+            state, power = new_state, new_power
+            if new_routine is not None:
+                routine = new_routine
+        if end_time > since:
+            yield (since, end_time, state, power, routine)
+
+
+def integrate(
+    timelines: Iterable[Timeline], end_time: float
+) -> Tuple[Dict[Tuple[str, str], float], Dict[str, float]]:
+    """Integrate timelines into (energy by component/routine, busy times).
+
+    Mirrors :meth:`repro.energy.meter.PowerMonitor.measure` and
+    :func:`repro.core.results.routine_busy_times` over the analytic
+    interval set.
+    """
+    energy: Dict[Tuple[str, str], float] = {}
+    busy: Dict[str, float] = {routine: 0.0 for routine in Routine.ORDER}
+    for timeline in timelines:
+        for t0, t1, state, power, routine in timeline.segments(end_time):
+            key = (timeline.component, routine)
+            energy[key] = energy.get(key, 0.0) + power * (t1 - t0)
+            if state in BUSY_STATES:
+                busy[routine] = busy.get(routine, 0.0) + (t1 - t0)
+    return energy, busy

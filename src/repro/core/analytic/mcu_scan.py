@@ -1,0 +1,170 @@
+"""MCU-side stream scan: the closed-form counterpart of the poll loops.
+
+Replays every stream's poll schedule at *operation* granularity: sensor
+rails and the MCU core are FIFO resources granted in request-arrival
+order (matching :class:`~repro.sim.resources.Resource`), so a stream
+blocked in a long rail read never holds the core, and chains from
+different streams interleave exactly as the kernel's processes do.  The
+family models supply the per-sample and per-window core-op chains.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional
+
+from ...hw.mcu import McuState
+from ...hw.power import Routine
+from ..schemes.base import Stream
+from .context import AnalyticRun
+
+
+class McuOp:
+    """One MCU-core operation of a stream's chain."""
+
+    __slots__ = ("duration", "routine", "after_routine", "on_end")
+
+    def __init__(
+        self,
+        duration: float,
+        routine: str,
+        after_routine: Optional[str] = None,
+        on_end: Optional[Callable[[float], None]] = None,
+    ):
+        self.duration = duration
+        self.routine = routine
+        self.after_routine = after_routine
+        self.on_end = on_end
+
+
+class _Cursor:
+    """Iteration state of one polling stream."""
+
+    __slots__ = ("stream", "index", "w", "k", "pending", "in_handoff")
+
+    def __init__(self, stream: Stream, index: int):
+        self.stream = stream
+        self.index = index
+        self.w = 0
+        self.k = 0
+        self.pending: List[McuOp] = []
+        self.in_handoff = False
+
+    def target(self) -> float:
+        return self.w * self.stream.window_s + self.k / self.stream.rate_hz
+
+    def done(self, windows: int) -> bool:
+        return self.w >= windows
+
+
+def scan_streams(
+    run: AnalyticRun,
+    streams: List[Stream],
+    sample_ops: Callable[[Stream, int, int], List[McuOp]],
+    window_done: Optional[Callable[[Stream, int], List[McuOp]]] = None,
+) -> None:
+    """Drive every stream's poll schedule through the op chains.
+
+    ``sample_ops(stream, w, k)`` returns the core ops that follow one
+    rail read; ``window_done(stream, w)`` returns extra ops to run after
+    a stream finishes a window's sample loop (the buffered hand-off —
+    family closures own the per-app coordinator and return ``[]`` for
+    non-final streams).  Op ``on_end`` callbacks fire at the op's end
+    time in chronological grant order, which is where interrupt raises
+    are recorded.
+    """
+    windows = run.scenario.windows
+    cursors = [_Cursor(stream, i) for i, stream in enumerate(streams)]
+    #: The MCU nap governor's per-stream "next scheduled poll" table.
+    #: Entries appear the first time a stream actually waits (exactly
+    #: like ``SchemeContext._mcu_next_polls``); a stream mid-chain keeps
+    #: its stale (past) target, which blocks any sleep decision.
+    next_polls = {}
+    # Heap keys are (fire, scheduled, seq): ``scheduled`` is the instant
+    # the kernel would have *inserted* the corresponding event — read
+    # start for a read-end, execute start for an execute-end, chain end
+    # for a poll timeout.  The kernel's queue breaks equal-fire ties by
+    # insertion order, so two chains whose reads end at the same instant
+    # are serviced in read-*start* order (the contended-rail loser, whose
+    # read started later, queues behind) — not in poll-pop order.
+    heap = []
+    seq = 0
+    # Kernel spawn order: every stream requests its first read at t=0
+    # (or its first target) in list order.
+    for cursor in cursors:
+        if not cursor.done(windows):
+            heapq.heappush(
+                heap, (cursor.target(), 0.0, seq, "poll", cursor.index)
+            )
+            seq += 1
+    while heap:
+        t, _, _, kind, index = heapq.heappop(heap)
+        cursor = cursors[index]
+        if kind == "poll":
+            read_start = max(t, run.rail_free[cursor.stream.sensor_id])
+            read_end = run.rail_read(cursor.stream.sensor_id, t)
+            cursor.pending = list(sample_ops(cursor.stream, cursor.w, cursor.k))
+            heapq.heappush(heap, (read_end, read_start, seq, "op", index))
+            seq += 1
+            continue
+        # One core op: FIFO grant at request-arrival order (= pop order).
+        op = cursor.pending.pop(0)
+        start = max(t, run.mcu_core_free)
+        end = run.mcu_op(t, op.duration, op.routine, op.after_routine)
+        if op.on_end is not None:
+            op.on_end(end)
+        if cursor.pending:
+            heapq.heappush(heap, (end, start, seq, "op", index))
+            seq += 1
+            continue
+        # Chain complete: window hand-off, then schedule the next poll.
+        if cursor.in_handoff:
+            cursor.in_handoff = False
+        else:
+            last_of_window = cursor.k == cursor.stream.samples_per_window - 1
+            w = cursor.w
+            cursor.k += 1
+            if cursor.k >= cursor.stream.samples_per_window:
+                cursor.k = 0
+                cursor.w += 1
+            if last_of_window and window_done is not None:
+                extra = list(window_done(cursor.stream, w))
+                if extra:
+                    cursor.pending = extra
+                    cursor.in_handoff = True
+                    heapq.heappush(heap, (end, start, seq, "op", index))
+                    seq += 1
+                    continue
+        if cursor.done(windows):
+            next_polls.pop(index, None)
+            continue
+        target = cursor.target()
+        if target > end:
+            # The stream is about to wait: refresh its poll entry and
+            # evaluate the nap governor at the pre-wait instant.
+            next_polls[index] = target
+            _maybe_sleep(run, end, next_polls)
+            heapq.heappush(heap, (target, end, seq, "poll", index))
+        else:
+            # No wait: the process rolls straight from the execute-end
+            # event (scheduled at the op's start) into the next read.
+            heapq.heappush(heap, (end, start, seq, "poll", index))
+        seq += 1
+
+
+def _maybe_sleep(run: AnalyticRun, now: float, next_polls) -> None:
+    """The MCU nap rule: light-sleep if every next poll is far enough."""
+    if run.mcu.state != McuState.IDLE:
+        return
+    upcoming = min(next_polls.values(), default=now)
+    if upcoming - now <= run.cal.mcu.sleep_threshold_s:
+        return
+    cal = run.cal.mcu
+    run.mcu.set(now, McuState.SLEEP, cal.sleep_power_w, Routine.DATA_COLLECTION)
+    # mcu_wake(): the earliest-waking stream brings the board back to
+    # idle exactly at its poll target — unless a mid-sleep operation (a
+    # rail read ending on another stream) woke the core first, in which
+    # case the kernel's scheduled wake never fires.
+    run.mcu.wake(
+        upcoming, McuState.IDLE, cal.idle_power_w, Routine.DATA_COLLECTION
+    )

@@ -1,0 +1,158 @@
+"""The analytic tier's entry point: scenario -> closed-form RunResult.
+
+:func:`analytic_scenario_result` mirrors
+:func:`~repro.core.schemes.base.execute_scenario` — same feasibility
+errors, same result shape — but derives the schedule arithmetically via
+the family models instead of running the event kernel.
+:func:`supports_analytic` is the planner's gate: scenarios outside the
+validated envelope (failure injection, partial-batch flushes, plugin
+schemes without a closed form, RAM-overflow risk) fall back to the DES.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...errors import AnalyticUnsupported, OffloadError, WorkloadError
+from ...energy.meter import EnergyReport
+from ...obs.recorder import NullRecorder
+from ..results import RunResult
+from ..schemes.base import AnalyticPlan
+from ..schemes.registry import get_scheme
+from .buffered import run_buffered
+from .context import AnalyticRun
+from .cpu_polling import run_cpu_polling
+from .interrupting import run_interrupting
+from .ledger import integrate
+
+#: Validated agreement band of the analytic tier against the DES (see
+#: ``tests/core/test_analytic.py``): every energy/duration figure lands
+#: within this relative tolerance across the Figure 11 grid and seeded
+#: random app mixes.  Integer counters (interrupts, wakes, bus bytes)
+#: match exactly.
+ANALYTIC_RTOL = 1e-9
+
+#: ``fidelity="auto"``'s confirmation band: grid points where two
+#: schemes' marginal energies land within this relative gap cannot be
+#: ranked by the analytic tier alone and are re-run through the DES.
+AUTO_CONFIRM_BAND = 2.0 * max(ANALYTIC_RTOL, 1e-3)
+
+
+def _plan_for(scenario) -> Tuple[object, AnalyticPlan]:
+    """Resolve the scheme's analytic plan (feasibility errors propagate)."""
+    executor = get_scheme(scenario.scheme)()
+    plan = executor.analytic_plan(scenario)
+    return executor, plan
+
+
+def supports_analytic(scenario) -> Tuple[bool, str]:
+    """Whether the closed-form tier covers ``scenario`` (and why not).
+
+    A scheme whose feasibility check fails (e.g. COM's
+    :class:`~repro.errors.OffloadError`) *is* supported: the analytic
+    tier raises the identical error, so no DES fallback is needed.
+    """
+    if any(rate > 0 for rate in scenario.sensor_failure_rates.values()):
+        return False, "sensor failure injection is stochastic (DES only)"
+    if scenario.batch_size is not None:
+        return False, "partial-batch flushes are not modelled (DES only)"
+    try:
+        _, plan = _plan_for(scenario)
+    except OffloadError:
+        return True, ""
+    if plan is None:
+        return False, (
+            f"scheme {scenario.scheme!r} declares no closed-form model"
+        )
+    if plan.family == "buffered":
+        cal = scenario.calibration
+        resident = sum(
+            app.profile.mcu_footprint_bytes for app in plan.com_apps
+        )
+        peak = sum(
+            app.profile.samples_per_window(sensor_id)
+            * app.profile.sample_bytes(sensor_id)
+            for app in plan.batch_apps
+            for sensor_id in app.profile.sensor_ids
+        )
+        if resident + peak > cal.mcu.ram_bytes:
+            return False, (
+                "MCU RAM may overflow (dropped samples); DES required"
+            )
+    return True, ""
+
+
+def analytic_scenario_result(
+    scenario, obs: Optional[NullRecorder] = None
+) -> RunResult:
+    """Closed-form counterpart of :func:`execute_scenario`.
+
+    Raises :class:`~repro.errors.AnalyticUnsupported` when the scenario
+    is outside the tier's envelope; scheme feasibility errors
+    (:class:`~repro.errors.OffloadError`, workload errors from stream
+    construction) propagate exactly as the DES would raise them.
+    ``obs`` attaches an instrumentation recorder: the analytic tier has
+    no event-granular schedule to trace, so it emits one span per
+    evaluation (category ``"analytic"``) plus one per app's result
+    window — enough for profiles to show which tier answered and when.
+    """
+    supported, reason = supports_analytic(scenario)
+    if not supported:
+        raise AnalyticUnsupported(reason)
+    executor, plan = _plan_for(scenario)
+    run = AnalyticRun(
+        scenario,
+        cpu_starts_awake=executor.cpu_starts_awake,
+        mcu_owns_sensing=executor.mcu_owns_sensing,
+    )
+    if plan.family == "interrupting":
+        run_interrupting(run, plan.shared)
+    elif plan.family == "cpu_polling":
+        run_cpu_polling(run)
+    elif plan.family == "buffered":
+        run_buffered(run, plan)
+    else:  # pragma: no cover - AnalyticPlan.FAMILIES is closed
+        raise AnalyticUnsupported(f"unknown analytic family {plan.family!r}")
+    end_time = max(run.last_activity, scenario.horizon_s)
+    energy, busy = integrate(run.timelines(), end_time)
+    missing = [
+        app.name
+        for app in scenario.apps
+        if len(run.app_results[app.name]) != scenario.windows
+    ]
+    if missing:  # pragma: no cover - defensive parity with ctx.collect
+        raise WorkloadError(
+            f"scenario {scenario.name}: apps without complete "
+            f"results: {missing}"
+        )
+    if obs is not None and obs.enabled:
+        obs.span("analytic", scenario.scheme, 0.0, end_time)
+        window_by_app = {
+            app.name: app.profile.window_s for app in scenario.apps
+        }
+        for app_name, times in sorted(run.result_times.items()):
+            window_s = window_by_app[app_name]
+            for w, t in enumerate(times):
+                obs.span("analytic", f"result:{app_name}", w * window_s, t)
+    return RunResult(
+        scenario_name=scenario.name,
+        scheme=scenario.scheme,
+        app_ids=[app.table2_id for app in scenario.apps],
+        windows=scenario.windows,
+        duration_s=end_time,
+        energy=EnergyReport(
+            duration_s=end_time,
+            idle_floor_power_w=scenario.calibration.idle_hub_power_w,
+            by_component_routine=energy,
+        ),
+        busy_times=busy,
+        app_results=dict(run.app_results),
+        result_times=dict(run.result_times),
+        qos_violations=list(run.qos_violations),
+        interrupt_count=run.interrupt_count,
+        cpu_wake_count=run.cpu_wake_count,
+        bus_bytes=run.bus_bytes,
+        offload_reports=dict(plan.offload_reports),
+        hub=None,
+        fidelity="analytic",
+    )

@@ -203,6 +203,9 @@ class DiskResultCache:
                     {
                         "entry_version": ENTRY_VERSION,
                         "fingerprint": fingerprint,
+                        # Duplicated from the result so stats passes can
+                        # tally tiers without unpickling full results.
+                        "fidelity": result.fidelity,
                         "result": result,
                     },
                     handle,
@@ -271,6 +274,33 @@ class DiskResultCache:
             total_bytes=sum(size for _, size, _ in entries),
             shard_dirs=shard_dirs,
         )
+
+    def fidelity_counts(self) -> Dict[str, int]:
+        """Entry count per fidelity tier (``{"des": …, "analytic": …}``).
+
+        Reads each entry's envelope; entries written before the envelope
+        carried a ``fidelity`` key predate the analytic tier and count
+        as ``"des"``.  Corrupt or foreign files are skipped, mirroring
+        :meth:`load`'s tolerance.
+        """
+        counts: Dict[str, int] = {}
+        for path, _size, _mtime in self.entries():
+            try:
+                with open(path, "rb") as handle:
+                    envelope = pickle.load(handle)
+            except (OSError, pickle.UnpicklingError, EOFError,
+                    AttributeError, ImportError, IndexError, MemoryError):
+                continue
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("entry_version") != ENTRY_VERSION
+            ):
+                continue
+            fidelity = envelope.get("fidelity", "des")
+            if not isinstance(fidelity, str):
+                fidelity = "des"
+            counts[fidelity] = counts.get(fidelity, 0) + 1
+        return dict(sorted(counts.items()))
 
     def gc(self, max_bytes: Optional[int] = None) -> GcResult:
         """Evict oldest-mtime-first until the cache fits ``max_bytes``.

@@ -21,6 +21,7 @@ def compare_grid(
     cache_dir: Optional[Any] = None,
     backend: Optional[str] = None,
     backend_hosts: Optional[Sequence[str]] = None,
+    fidelity: Optional[str] = None,
 ) -> Dict[Tuple[str, ...], Dict[str, RunResult]]:
     """Run every app set under every scheme through ONE engine batch.
 
@@ -29,7 +30,10 @@ def compare_grid(
     execution backend, one memory cache and one dedup pass serve the
     entire comparison — instead of a fresh engine (and worker spawn)
     per scheme.  ``backend``/``backend_hosts`` choose where the grid
-    executes (results are bit-identical across backends).  Returns
+    executes (results are bit-identical across backends).  ``fidelity``
+    overrides the engine's tier for this grid (``"auto"`` is a natural
+    fit here: the batch holds every scheme of each app set, so the
+    planner confirms exactly the per-set frontier).  Returns
     ``{tuple(app_ids): {scheme: result}}`` in input order.
     """
     owns_engine = engine is None
@@ -52,7 +56,7 @@ def compare_grid(
         for scheme in schemes
     ]
     try:
-        results = engine.run_many(scenarios)
+        results = engine.run_many(scenarios, fidelity=fidelity)
     finally:
         if owns_engine:
             # Only close pools we spawned; a shared engine stays warm.
@@ -78,6 +82,7 @@ def compare_schemes(
     cache_dir=None,
     backend: Optional[str] = None,
     backend_hosts: Optional[Sequence[str]] = None,
+    fidelity: Optional[str] = None,
 ) -> Dict[str, RunResult]:
     """Run the same apps under several schemes; returns results by scheme.
 
@@ -98,6 +103,7 @@ def compare_schemes(
         cache_dir=cache_dir,
         backend=backend,
         backend_hosts=backend_hosts,
+        fidelity=fidelity,
     )
     return grid[tuple(app_ids)]
 

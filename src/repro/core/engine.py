@@ -44,8 +44,9 @@ import os
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import ReproError
+from ..errors import AnalyticUnsupported, ReproError
 from ..obs.metrics import EngineMetrics
+from .analytic import AUTO_CONFIRM_BAND, analytic_scenario_result
 from .backends import ExecutionBackend, create_backend, run_chunk
 from .cache import DiskResultCache, LRUResultCache, TieredResultCache
 from .results import RunResult
@@ -59,7 +60,19 @@ from .schemes.base import execute_scenario
 #: the simulation), app ids are canonicalized (sorted) for
 #: dedup-eligible scenarios, and ndarray waveform attributes hash their
 #: full buffer instead of a (truncating) ``repr``.
-FINGERPRINT_VERSION = 3
+#: v4: payload gained the ``fidelity`` tier ("des" | "analytic"), so
+#: closed-form and event-simulation entries can never collide in the
+#: cache; analytic entries pin ``fast_forward`` to False (the closed
+#: form has no steady-state skipping to toggle).
+FINGERPRINT_VERSION = 4
+
+#: Fidelity tiers an engine can run at.  ``"des"`` is the discrete-event
+#: simulation (the authoritative tier), ``"analytic"`` the closed-form
+#: models in :mod:`repro.core.analytic`, and ``"auto"`` the planner:
+#: answer everything analytically, then re-run only the frontier
+#: (per-app-set scheme winners and within-band near-ties) plus any
+#: point the analytic tier cannot cover through the DES.
+FIDELITIES = ("des", "analytic", "auto")
 
 #: Default in-memory LRU capacity when disk caching is enabled.
 DEFAULT_MEMORY_CACHE_ENTRIES = 256
@@ -124,29 +137,28 @@ def canonicalize_scenario(scenario: Scenario) -> Scenario:
     return dataclasses.replace(scenario, apps=ordered)
 
 
-def scenario_fingerprint(
-    scenario: Scenario, fast_forward: bool = False, canonical: bool = True
-) -> str:
-    """Deterministic hex digest identifying a scenario's full behavior.
-
-    Two scenarios with equal fingerprints produce bit-identical
-    :class:`RunResult` metrics (up to the presentational name/app-id
-    order); anything that can change the simulation (scheme, apps,
-    windows, batch size, calibration constants, waveform overrides,
-    failure injection) feeds the digest — as does the execution mode
-    (``fast_forward``), whose results are equivalent but not
-    bit-identical.  With ``canonical=True`` (the engine's dedup mode)
-    the app ids are sorted for dedup-eligible scenarios, so permutations
-    of one app set collide on purpose; pass ``canonical=False`` to
-    fingerprint the as-given ordering (an engine built with
-    ``dedup=False`` executes that ordering, whose results can differ).
-    """
+def _fingerprint_payload(
+    scenario: Scenario,
+    fast_forward: bool,
+    canonical: bool,
+    fidelity: str,
+) -> Dict[str, Any]:
+    """The JSON payload behind :func:`scenario_fingerprint`."""
+    if fidelity not in ("des", "analytic"):
+        raise ValueError(
+            f"fingerprints carry a concrete tier ('des' | 'analytic'), "
+            f"got {fidelity!r}"
+        )
     app_ids = [app.table2_id for app in scenario.apps]
     if canonical and dedup_eligible(scenario):
         app_ids = sorted(app_ids)
-    payload = {
+    return {
         "version": FINGERPRINT_VERSION,
-        "fast_forward": bool(fast_forward),
+        "fidelity": fidelity,
+        # The closed form has no steady-state skipping; pinning the flag
+        # keeps one analytic entry per scenario whatever the engine's
+        # fast_forward setting.
+        "fast_forward": bool(fast_forward) and fidelity == "des",
         "scheme": scenario.scheme,
         "apps": app_ids,
         "windows": scenario.windows,
@@ -158,8 +170,57 @@ def scenario_fingerprint(
             for sensor_id, waveform in sorted(scenario.waveforms.items())
         },
     }
+
+
+def _digest(payload: Dict[str, Any]) -> str:
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scenario_fingerprint(
+    scenario: Scenario,
+    fast_forward: bool = False,
+    canonical: bool = True,
+    fidelity: str = "des",
+) -> str:
+    """Deterministic hex digest identifying a scenario's full behavior.
+
+    Two scenarios with equal fingerprints produce bit-identical
+    :class:`RunResult` metrics (up to the presentational name/app-id
+    order); anything that can change the simulation (scheme, apps,
+    windows, batch size, calibration constants, waveform overrides,
+    failure injection) feeds the digest — as do the execution mode
+    (``fast_forward``), whose results are equivalent but not
+    bit-identical, and the ``fidelity`` tier (``"des"`` | ``"analytic"``),
+    so closed-form and event-simulation entries never collide.  With
+    ``canonical=True`` (the engine's dedup mode) the app ids are sorted
+    for dedup-eligible scenarios, so permutations of one app set collide
+    on purpose; pass ``canonical=False`` to fingerprint the as-given
+    ordering (an engine built with ``dedup=False`` executes that
+    ordering, whose results can differ).
+    """
+    return _digest(
+        _fingerprint_payload(scenario, fast_forward, canonical, fidelity)
+    )
+
+
+def scenario_group_key(scenario: Scenario) -> str:
+    """Digest of everything about a scenario *except* its scheme.
+
+    The ``fidelity="auto"`` planner groups grid points by this key: one
+    group holds the same app set / windows / calibration / waveforms
+    under every scheme, and the planner picks each group's frontier
+    (scheme winner plus within-band near-ties) for DES confirmation.
+    Execution-mode knobs (fidelity, fast_forward) are excluded — they
+    describe *how* a point runs, not which physical grid point it is.
+    """
+    payload = _fingerprint_payload(
+        scenario, fast_forward=False, canonical=True, fidelity="des"
+    )
+    del payload["scheme"]
+    del payload["fidelity"]
+    del payload["fast_forward"]
+    return _digest(payload)
 
 
 def strip_hub(result: RunResult) -> RunResult:
@@ -252,6 +313,15 @@ class ScenarioEngine:
     energy/duration, exact counters; aperiodic scenarios transparently
     run in full) — fast-forwarded results are fingerprinted separately,
     so the cache never mixes the two modes.
+    ``fidelity`` selects the default tier (any call can override it):
+    ``"des"`` runs the event simulation; ``"analytic"`` answers from the
+    closed-form models in :mod:`repro.core.analytic`, transparently
+    falling back to the DES for points outside the validated envelope;
+    ``"auto"`` answers the whole batch analytically, then re-runs only
+    the frontier (per-app-set scheme winners plus within-band near-ties)
+    through the DES and merges, tagging each result's ``fidelity``.
+    Analytic and DES entries fingerprint — and therefore cache —
+    separately.
     """
 
     def __init__(
@@ -264,9 +334,17 @@ class ScenarioEngine:
         cache_max_bytes: Optional[int] = None,
         backend: Optional[str] = None,
         backend_hosts: Optional[Sequence[str]] = None,
+        fidelity: str = "des",
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITIES}, got {fidelity!r}"
+            )
+        #: Default fidelity tier for run()/run_batch()/run_many(); each
+        #: call may override it.
+        self.fidelity = fidelity
         # close() must be safe on a partially-constructed engine (a bad
         # backend name raises below), so the slot exists from the start.
         self._backend: Optional[ExecutionBackend] = None
@@ -341,11 +419,23 @@ class ScenarioEngine:
     # ------------------------------------------------------------------
     # fingerprinting and rebinding
     # ------------------------------------------------------------------
-    def _fingerprint(self, scenario: Scenario) -> str:
+    def _resolve_fidelity(self, fidelity: Optional[str]) -> str:
+        """A call's effective tier: the override, or the engine default."""
+        resolved = self.fidelity if fidelity is None else fidelity
+        if resolved not in FIDELITIES:
+            raise ValueError(
+                f"fidelity must be one of {FIDELITIES}, got {resolved!r}"
+            )
+        return resolved
+
+    def _fingerprint(self, scenario: Scenario, fidelity: str = "des") -> str:
         """Fingerprint one scenario, charging the time to the metrics."""
         started = time.perf_counter()
         fingerprint = scenario_fingerprint(
-            scenario, fast_forward=self.fast_forward, canonical=self.dedup
+            scenario,
+            fast_forward=self.fast_forward,
+            canonical=self.dedup,
+            fidelity=fidelity,
         )
         self.metrics.fingerprint_wall_s += time.perf_counter() - started
         return fingerprint
@@ -356,35 +446,58 @@ class ScenarioEngine:
             return scenario
         return canonicalize_scenario(scenario)
 
-    def fingerprints(self, scenarios: Sequence[Scenario]) -> List[str]:
+    def fingerprints(
+        self,
+        scenarios: Sequence[Scenario],
+        fidelity: Optional[str] = None,
+    ) -> List[str]:
         """Per-scenario fingerprints under this engine's configuration.
 
         The coalescing hook for service layers: fingerprints honor the
         engine's ``dedup`` and ``fast_forward`` settings, so two batches
         with equal fingerprints would execute identically through this
-        engine.
+        engine.  ``fidelity="analytic"`` yields the closed-form tier's
+        fingerprints; ``"des"`` and ``"auto"`` both yield the DES
+        fingerprints (auto's grid identity *is* the DES grid — the tier
+        split is mixed into :meth:`batch_key` instead).
         """
+        tier = (
+            "analytic"
+            if self._resolve_fidelity(fidelity) == "analytic"
+            else "des"
+        )
         started = time.perf_counter()
         result = [
             scenario_fingerprint(
                 scenario,
                 fast_forward=self.fast_forward,
                 canonical=self.dedup,
+                fidelity=tier,
             )
             for scenario in scenarios
         ]
         self.metrics.fingerprint_wall_s += time.perf_counter() - started
         return result
 
-    def batch_key(self, scenarios: Sequence[Scenario]) -> str:
+    def batch_key(
+        self,
+        scenarios: Sequence[Scenario],
+        fidelity: Optional[str] = None,
+    ) -> str:
         """Digest identifying a whole batch of scenarios.
 
-        Batches with equal keys run the same points in the same order,
-        so an in-flight batch can serve every identical concurrent
-        request (request coalescing in ``repro serve``): the batch
-        executes once and the key's waiters all receive its results.
+        Batches with equal keys run the same points in the same order at
+        the same fidelity, so an in-flight batch can serve every
+        identical concurrent request (request coalescing in
+        ``repro serve``): the batch executes once and the key's waiters
+        all receive its results.
         """
-        joined = "\n".join(self.fingerprints(scenarios))
+        resolved = self._resolve_fidelity(fidelity)
+        joined = "\n".join(self.fingerprints(scenarios, fidelity=resolved))
+        if resolved != "des":
+            # Prefixed only for non-DES tiers so existing DES keys (and
+            # any coalescing state keyed on them) are unchanged.
+            joined = f"fidelity:{resolved}\n{joined}"
         return hashlib.sha256(joined.encode("ascii")).hexdigest()
 
     @property
@@ -441,13 +554,25 @@ class ScenarioEngine:
     # execution
     # ------------------------------------------------------------------
     def run(
-        self, scenario: Scenario, client: Optional[str] = None
+        self,
+        scenario: Scenario,
+        client: Optional[str] = None,
+        fidelity: Optional[str] = None,
     ) -> RunResult:
         """Run one scenario: cache hit, or simulate (and populate cache).
 
         ``client`` attributes the cache traffic to a per-client bucket
         (see :attr:`cache_accounting`); it never changes the result.
+        ``fidelity`` overrides the engine's default tier for this call.
         """
+        resolved = self._resolve_fidelity(fidelity)
+        if resolved != "des":
+            outcome = self.run_batch(
+                [scenario], client=client, fidelity=resolved
+            )[0]
+            if isinstance(outcome, ReproError):
+                raise outcome
+            return outcome
         started = time.perf_counter()
         fingerprint = None
         if self._cache.enabled:
@@ -475,7 +600,10 @@ class ScenarioEngine:
         return self._rebind(result, scenario)
 
     def run_batch(
-        self, scenarios: Sequence[Scenario], client: Optional[str] = None
+        self,
+        scenarios: Sequence[Scenario],
+        client: Optional[str] = None,
+        fidelity: Optional[str] = None,
     ) -> List[Outcome]:
         """Run many scenarios; per-point outcomes in input order.
 
@@ -489,7 +617,25 @@ class ScenarioEngine:
         canonical ordering fans out to every member (``dedup_hits``
         counts the members beyond the first).  ``client`` attributes the
         batch's cache traffic per client; it never changes results.
+
+        ``fidelity`` overrides the engine's default tier for this call:
+        ``"analytic"`` answers from the closed-form models (DES fallback
+        for unsupported points); ``"auto"`` answers analytically, then
+        re-runs the frontier through the DES (see :meth:`__init__`).
+        Every outcome's ``fidelity`` field records the tier that
+        actually produced it.
         """
+        resolved = self._resolve_fidelity(fidelity)
+        if resolved == "analytic":
+            return self._run_batch_analytic(scenarios, client)
+        if resolved == "auto":
+            return self._run_batch_auto(scenarios, client)
+        return self._run_batch_des(scenarios, client)
+
+    def _run_batch_des(
+        self, scenarios: Sequence[Scenario], client: Optional[str] = None
+    ) -> List[Outcome]:
+        """The authoritative tier: :meth:`run_batch`'s DES path."""
         started = time.perf_counter()
         outcomes: List[Optional[Outcome]] = [None] * len(scenarios)
         keyed = self._cache.enabled or self.dedup
@@ -578,12 +724,152 @@ class ScenarioEngine:
         self.metrics.run_wall_s += time.perf_counter() - started
         return [outcome for outcome in outcomes if outcome is not None]
 
+    def _analytic_outcomes(
+        self, scenarios: Sequence[Scenario], client: Optional[str]
+    ) -> List[Optional[Outcome]]:
+        """Closed-form pass: per-point outcome, or ``None`` for the DES.
+
+        Mirrors the DES batch's grouping (fingerprint dedup, cache pass,
+        fan-out) but evaluates inline — closed-form models are far
+        cheaper than any dispatch.  A ``None`` slot marks a point the
+        analytic tier cannot cover (:class:`AnalyticUnsupported`, at the
+        gate or mid-evaluation); scheme feasibility errors are final —
+        the analytic tier raises them identically to the DES.
+        """
+        started = time.perf_counter()
+        outcomes: List[Optional[Outcome]] = [None] * len(scenarios)
+        keyed = self._cache.enabled or self.dedup
+        group_order: List[str] = []
+        members: Dict[str, List[int]] = {}
+        for index, scenario in enumerate(scenarios):
+            key = (
+                self._fingerprint(scenario, fidelity="analytic")
+                if keyed
+                else f"@{index}"
+            )
+            if key not in members:
+                members[key] = []
+                group_order.append(key)
+            members[key].append(index)
+        for key in group_order:
+            indices = members[key]
+            if self._cache.enabled:
+                hit = self._cache.get(key, client=client)
+                if hit is not None:
+                    tier, cached = hit
+                    self._note_cache_hit(tier, count=len(indices))
+                    for index in indices:
+                        outcomes[index] = self._rebind(
+                            cached, scenarios[index]
+                        )
+                    continue
+            result: Optional[RunResult] = None
+            error: Optional[ReproError] = None
+            try:
+                result = analytic_scenario_result(
+                    self._execution_form(scenarios[indices[0]])
+                )
+            except AnalyticUnsupported:
+                continue  # the whole group falls through to the DES
+            except ReproError as exc:
+                error = exc
+            self.metrics.analytic_evals += 1
+            if result is not None and self._cache.enabled:
+                self.metrics.cache_misses += 1
+                self._cache.put(key, result, client=client)
+            self.metrics.dedup_hits += len(indices) - 1
+            for index in indices:
+                outcomes[index] = (
+                    error
+                    if error is not None
+                    else self._rebind(result, scenarios[index])
+                )
+        self.metrics.analytic_wall_s += time.perf_counter() - started
+        self.metrics.run_wall_s += time.perf_counter() - started
+        return outcomes
+
+    def _merge_des(
+        self,
+        scenarios: Sequence[Scenario],
+        outcomes: List[Optional[Outcome]],
+        confirm: List[int],
+        client: Optional[str],
+    ) -> List[Outcome]:
+        """Fill/overwrite ``confirm`` slots with DES outcomes."""
+        if confirm:
+            des = self._run_batch_des(
+                [scenarios[index] for index in confirm], client=client
+            )
+            for index, outcome in zip(confirm, des):
+                outcomes[index] = outcome
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _run_batch_analytic(
+        self, scenarios: Sequence[Scenario], client: Optional[str]
+    ) -> List[Outcome]:
+        """Closed-form tier: analytic everywhere it holds, DES elsewhere."""
+        outcomes = self._analytic_outcomes(scenarios, client)
+        pending = [
+            index
+            for index, outcome in enumerate(outcomes)
+            if outcome is None
+        ]
+        return self._merge_des(scenarios, outcomes, pending, client)
+
+    def _run_batch_auto(
+        self, scenarios: Sequence[Scenario], client: Optional[str]
+    ) -> List[Outcome]:
+        """The planner tier: analytic sweep, DES confirmation of the frontier.
+
+        The analytic pass answers every point; points are then grouped
+        by :func:`scenario_group_key` (same grid point, different
+        scheme) and each group's frontier — its marginal-energy winner
+        plus any scheme within :data:`AUTO_CONFIRM_BAND` of it — is
+        re-run through the DES, along with every point the analytic tier
+        could not cover.  DES results replace the analytic answers on
+        confirmed points (their ``fidelity`` tag records the tier), so
+        the ranking the sweep reports is always DES-confirmed.
+        """
+        outcomes = self._analytic_outcomes(scenarios, client)
+        confirm = [
+            index
+            for index, outcome in enumerate(outcomes)
+            if outcome is None
+        ]
+        groups: Dict[str, List[int]] = {}
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, RunResult):
+                groups.setdefault(
+                    scenario_group_key(scenarios[index]), []
+                ).append(index)
+        frontier: List[int] = []
+        for indices in groups.values():
+            best = min(
+                outcomes[index].energy.marginal_j for index in indices
+            )
+            cutoff = best * (1.0 + AUTO_CONFIRM_BAND)
+            frontier.extend(
+                index
+                for index in indices
+                if outcomes[index].energy.marginal_j <= cutoff
+            )
+        self.metrics.frontier_points += len(frontier)
+        confirm.extend(frontier)
+        self.metrics.des_confirmations += len(confirm)
+        return self._merge_des(scenarios, outcomes, confirm, client)
+
     def run_many(
-        self, scenarios: Sequence[Scenario], client: Optional[str] = None
+        self,
+        scenarios: Sequence[Scenario],
+        client: Optional[str] = None,
+        fidelity: Optional[str] = None,
     ) -> List[RunResult]:
         """Like :meth:`run_batch`, but library errors raise immediately."""
         results: List[RunResult] = []
-        for outcome in self.run_batch(scenarios, client=client):
+        for outcome in self.run_batch(
+            scenarios, client=client, fidelity=fidelity
+        ):
             if isinstance(outcome, ReproError):
                 raise outcome
             results.append(outcome)

@@ -51,6 +51,10 @@ class RunResult:
     bus_bytes: int = 0
     offload_reports: Dict[str, OffloadReport] = field(default_factory=dict)
     hub: Optional[IoTHub] = None
+    #: Which tier produced this result: ``"des"`` (event simulation) or
+    #: ``"analytic"`` (closed-form model).  ``fidelity="auto"`` runs tag
+    #: each merged point with the tier that actually answered it.
+    fidelity: str = "des"
 
     @property
     def total_busy_s(self) -> float:

@@ -116,6 +116,75 @@ class WindowState:
         self.signal.fire(self.window.window_index)
 
 
+def build_streams(apps: Sequence[IoTApp], shared: bool) -> List[Stream]:
+    """Build polling streams for ``apps``: per-app or shared-per-sensor.
+
+    Pure function of the app profiles — no hub, no simulator — so the
+    DES (via :meth:`SchemeContext.streams_for`) and the closed-form
+    analytic tier (:mod:`repro.core.analytic`) derive their schedules
+    from the exact same stream set.  Raises
+    :class:`~repro.errors.WorkloadError` for BEAM-unshareable sensors
+    (mixed window lengths, non-dividing rates).
+    """
+    if not shared:
+        return [
+            Stream(
+                sensor_id=sensor_id,
+                subscribers=[app],
+                rate_hz=app.profile.rate_hz(sensor_id),
+                window_s=app.profile.window_s,
+                samples_per_window=app.profile.samples_per_window(sensor_id),
+                sample_bytes=app.profile.sample_bytes(sensor_id),
+            )
+            for app in apps
+            for sensor_id in app.profile.sensor_ids
+        ]
+    by_sensor: Dict[str, List[IoTApp]] = {}
+    for app in apps:
+        for sensor_id in app.profile.sensor_ids:
+            by_sensor.setdefault(sensor_id, []).append(app)
+    streams = []
+    for sensor_id, subscribers in by_sensor.items():
+        windows = {app.profile.window_s for app in subscribers}
+        if len(windows) > 1:
+            raise WorkloadError(
+                f"BEAM cannot share {sensor_id}: subscribers disagree "
+                f"on window length"
+            )
+        # Poll at the fastest subscriber's rate; slower subscribers
+        # get a decimated view (their rate must divide the fastest).
+        fastest = max(app.profile.rate_hz(sensor_id) for app in subscribers)
+        strides: Dict[str, int] = {}
+        for app in subscribers:
+            ratio = fastest / app.profile.rate_hz(sensor_id)
+            stride = int(round(ratio))
+            if abs(ratio - stride) > 1e-9 or stride < 1:
+                raise WorkloadError(
+                    f"BEAM cannot share {sensor_id}: {app.name}'s rate "
+                    f"does not divide the fastest subscriber's"
+                )
+            strides[app.name] = stride
+        reference = max(
+            subscribers, key=lambda app: app.profile.rate_hz(sensor_id)
+        )
+        streams.append(
+            Stream(
+                sensor_id=sensor_id,
+                subscribers=list(subscribers),
+                rate_hz=fastest,
+                window_s=reference.profile.window_s,
+                samples_per_window=reference.profile.samples_per_window(
+                    sensor_id
+                ),
+                sample_bytes=max(
+                    app.profile.sample_bytes(sensor_id) for app in subscribers
+                ),
+                strides=strides,
+            )
+        )
+    return streams
+
+
 class SchemeContext:
     """Shared stream/window/governor plumbing handed to a scheme's build.
 
@@ -256,63 +325,7 @@ class SchemeContext:
         self, apps: Sequence[IoTApp], shared: bool
     ) -> List[Stream]:
         """Build polling streams: per-app or shared-per-sensor (BEAM)."""
-        if not shared:
-            return self._record_streams(
-                Stream(
-                    sensor_id=sensor_id,
-                    subscribers=[app],
-                    rate_hz=app.profile.rate_hz(sensor_id),
-                    window_s=app.profile.window_s,
-                    samples_per_window=app.profile.samples_per_window(sensor_id),
-                    sample_bytes=app.profile.sample_bytes(sensor_id),
-                )
-                for app in apps
-                for sensor_id in app.profile.sensor_ids
-            )
-        by_sensor: Dict[str, List[IoTApp]] = {}
-        for app in apps:
-            for sensor_id in app.profile.sensor_ids:
-                by_sensor.setdefault(sensor_id, []).append(app)
-        streams = []
-        for sensor_id, subscribers in by_sensor.items():
-            windows = {app.profile.window_s for app in subscribers}
-            if len(windows) > 1:
-                raise WorkloadError(
-                    f"BEAM cannot share {sensor_id}: subscribers disagree "
-                    f"on window length"
-                )
-            # Poll at the fastest subscriber's rate; slower subscribers
-            # get a decimated view (their rate must divide the fastest).
-            fastest = max(app.profile.rate_hz(sensor_id) for app in subscribers)
-            strides: Dict[str, int] = {}
-            for app in subscribers:
-                ratio = fastest / app.profile.rate_hz(sensor_id)
-                stride = int(round(ratio))
-                if abs(ratio - stride) > 1e-9 or stride < 1:
-                    raise WorkloadError(
-                        f"BEAM cannot share {sensor_id}: {app.name}'s rate "
-                        f"does not divide the fastest subscriber's"
-                    )
-                strides[app.name] = stride
-            reference = max(
-                subscribers, key=lambda app: app.profile.rate_hz(sensor_id)
-            )
-            streams.append(
-                Stream(
-                    sensor_id=sensor_id,
-                    subscribers=list(subscribers),
-                    rate_hz=fastest,
-                    window_s=reference.profile.window_s,
-                    samples_per_window=reference.profile.samples_per_window(
-                        sensor_id
-                    ),
-                    sample_bytes=max(
-                        app.profile.sample_bytes(sensor_id) for app in subscribers
-                    ),
-                    strides=strides,
-                )
-            )
-        return self._record_streams(streams)
+        return self._record_streams(build_streams(apps, shared))
 
     def _record_streams(self, streams) -> List[Stream]:
         """Remember built streams (idempotent: re-builds overwrite by key)."""
@@ -761,6 +774,37 @@ class SchemeContext:
         )
 
 
+@dataclass
+class AnalyticPlan:
+    """A scheme's declaration of how the analytic tier should model it.
+
+    Schemes return one of three *families* from
+    :meth:`SchemeExecutor.analytic_plan`; the closed-form models in
+    :mod:`repro.core.analytic` derive schedules and energy from the
+    family plus the scenario, using the same :func:`build_streams`
+    output as the DES:
+
+    * ``"interrupting"`` — per-sample MCU poll, interrupt, transfer
+      (baseline; BEAM sets ``shared``).
+    * ``"cpu_polling"`` — the CPU blocks on every read (§II-A polling).
+    * ``"buffered"`` — MCU-buffered sensing with per-window hand-off:
+      ``batch_apps`` ship their buffer, ``com_apps`` compute on the MCU
+      and ship only the result (batching / COM / BCOM mixes).
+    """
+
+    family: str
+    shared: bool = False
+    com_apps: List[IoTApp] = field(default_factory=list)
+    batch_apps: List[IoTApp] = field(default_factory=list)
+    offload_reports: Dict[str, "OffloadReport"] = field(default_factory=dict)
+
+    FAMILIES: ClassVar[Tuple[str, ...]] = (
+        "interrupting",
+        "cpu_polling",
+        "buffered",
+    )
+
+
 class SchemeExecutor:
     """Base class for scheme plugins.
 
@@ -780,6 +824,18 @@ class SchemeExecutor:
     def build(self, ctx: SchemeContext) -> None:
         """Spawn the scheme's processes and set the governor knobs."""
         raise NotImplementedError
+
+    def analytic_plan(self, scenario) -> Optional[AnalyticPlan]:
+        """Inputs for the closed-form tier, or ``None`` (DES-only scheme).
+
+        Must make the same feasibility decisions as :meth:`build` — a
+        scheme that raises (e.g. COM's :class:`~repro.errors.OffloadError`)
+        during ``build`` must raise identically here, so the analytic
+        tier reports the same errors as the DES.  Plugin schemes that do
+        not implement a closed-form model inherit the ``None`` default
+        and always execute through the DES.
+        """
+        return None
 
 
 def build_context(

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...hubos.governor import CpuRestPolicy
-from .base import SchemeContext, SchemeExecutor
+from .base import AnalyticPlan, SchemeContext, SchemeExecutor
 from .registry import register_scheme
 
 
@@ -42,3 +44,7 @@ class BaselineScheme(SchemeExecutor):
     def build(self, ctx: SchemeContext) -> None:
         """One interrupting stream per (app, sensor) pair — no sharing."""
         spawn_interrupting(ctx, shared=False)
+
+    def analytic_plan(self, scenario) -> Optional[AnalyticPlan]:
+        """Closed-form model: per-sample interrupting, unshared streams."""
+        return AnalyticPlan(family="interrupting", shared=False)

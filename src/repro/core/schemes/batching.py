@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ...apps.base import IoTApp
 from ...firmware.batching import BatchBuffer
 from ...hubos.governor import CpuRestPolicy
 from ...hw.power import Routine
-from .base import SchemeContext, SchemeExecutor
+from .base import AnalyticPlan, SchemeContext, SchemeExecutor
 from .registry import register_scheme
 
 
@@ -82,3 +82,7 @@ class BatchingScheme(SchemeExecutor):
     def build(self, ctx: SchemeContext) -> None:
         """Every app gets MCU-buffered sensing; none are offloaded."""
         spawn_buffered(ctx, com_apps=[], batch_apps=list(ctx.scenario.apps))
+
+    def analytic_plan(self, scenario) -> Optional[AnalyticPlan]:
+        """Closed-form model: every app MCU-buffered, none offloaded."""
+        return AnalyticPlan(family="buffered", batch_apps=list(scenario.apps))

@@ -2,13 +2,56 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Optional, Tuple
 
 from ...apps.base import IoTApp
+from ...calibration import Calibration
 from ...firmware.capability import OffloadReport, check_offloadable
-from .base import SchemeContext, SchemeExecutor
+from .base import AnalyticPlan, SchemeContext, SchemeExecutor
 from .batching import spawn_buffered
 from .registry import register_scheme
+
+
+def partition_offloadable(
+    apps: List[IoTApp], cal: Calibration, capacity: int
+) -> Tuple[List[IoTApp], List[IoTApp], Dict[str, OffloadReport]]:
+    """Split ``apps`` into (com_apps, batch_apps) under a RAM ``capacity``.
+
+    Pure decision logic shared by the DES build (capacity = the live MCU
+    allocator's free bytes) and the analytic tier (capacity = the
+    calibration's total MCU RAM) so both pick identical partitions.
+    """
+    com_apps: List[IoTApp] = []
+    batch_apps: List[IoTApp] = []
+    candidates: List[IoTApp] = []
+    reports: Dict[str, OffloadReport] = {}
+    for app in apps:
+        report = check_offloadable(app, cal)
+        reports[app.name] = report
+        (candidates if report else batch_apps).append(app)
+    # Greedy pack: smallest footprints first maximizes the number of
+    # apps that escape the CPU; the rest fall back to Batching.
+    budget = capacity
+    for app in sorted(
+        candidates, key=lambda a: a.profile.mcu_footprint_bytes
+    ):
+        footprint = app.profile.mcu_footprint_bytes
+        if footprint <= budget:
+            budget -= footprint
+            com_apps.append(app)
+        else:
+            batch_apps.append(app)
+            reports[app.name] = OffloadReport(
+                app_name=app.name,
+                offloadable=False,
+                reasons=[
+                    "MCU RAM contention: other offloaded apps already "
+                    "occupy the remaining capacity"
+                ],
+                mcu_compute_time_s=app.profile.mcu_compute_time_s(cal),
+                required_ram_bytes=footprint,
+            )
+    return com_apps, batch_apps, reports
 
 
 @register_scheme("bcom")
@@ -17,33 +60,22 @@ class BcomScheme(SchemeExecutor):
 
     def build(self, ctx: SchemeContext) -> None:
         """Partition apps: offloadable ones to COM, the rest to batching."""
-        com_apps: List[IoTApp] = []
-        batch_apps: List[IoTApp] = []
-        candidates: List[IoTApp] = []
-        for app in ctx.scenario.apps:
-            report = check_offloadable(app, ctx.cal)
-            ctx.offload_reports[app.name] = report
-            (candidates if report else batch_apps).append(app)
-        # Greedy pack: smallest footprints first maximizes the number of
-        # apps that escape the CPU; the rest fall back to Batching.
-        budget = ctx.hub.mcu.ram.free_bytes
-        for app in sorted(
-            candidates, key=lambda a: a.profile.mcu_footprint_bytes
-        ):
-            footprint = app.profile.mcu_footprint_bytes
-            if footprint <= budget:
-                budget -= footprint
-                com_apps.append(app)
-            else:
-                batch_apps.append(app)
-                ctx.offload_reports[app.name] = OffloadReport(
-                    app_name=app.name,
-                    offloadable=False,
-                    reasons=[
-                        "MCU RAM contention: other offloaded apps already "
-                        "occupy the remaining capacity"
-                    ],
-                    mcu_compute_time_s=app.profile.mcu_compute_time_s(ctx.cal),
-                    required_ram_bytes=footprint,
-                )
+        com_apps, batch_apps, reports = partition_offloadable(
+            list(ctx.scenario.apps), ctx.cal, ctx.hub.mcu.ram.free_bytes
+        )
+        ctx.offload_reports.update(reports)
         spawn_buffered(ctx, com_apps=com_apps, batch_apps=batch_apps)
+
+    def analytic_plan(self, scenario) -> Optional[AnalyticPlan]:
+        """Closed-form model: same greedy partition against total MCU RAM."""
+        com_apps, batch_apps, reports = partition_offloadable(
+            list(scenario.apps),
+            scenario.calibration,
+            scenario.calibration.mcu.ram_bytes,
+        )
+        return AnalyticPlan(
+            family="buffered",
+            com_apps=com_apps,
+            batch_apps=batch_apps,
+            offload_reports=reports,
+        )

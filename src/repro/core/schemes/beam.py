@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from .base import SchemeContext, SchemeExecutor
+from typing import Optional
+
+from .base import AnalyticPlan, SchemeContext, SchemeExecutor
 from .baseline import spawn_interrupting
 from .registry import register_scheme
 
@@ -16,3 +18,7 @@ class BeamScheme(SchemeExecutor):
     def build(self, ctx: SchemeContext) -> None:
         """Like baseline, but apps share one stream per sensor."""
         spawn_interrupting(ctx, shared=True)
+
+    def analytic_plan(self, scenario) -> Optional[AnalyticPlan]:
+        """Closed-form model: per-sample interrupting, shared streams."""
+        return AnalyticPlan(family="interrupting", shared=True)

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...errors import OffloadError
 from ...firmware.capability import check_offloadable
-from .base import SchemeContext, SchemeExecutor
+from .base import AnalyticPlan, SchemeContext, SchemeExecutor
 from .batching import spawn_buffered
 from .registry import register_scheme
 
@@ -24,3 +26,20 @@ class ComScheme(SchemeExecutor):
                     f"{'; '.join(report.reasons)}"
                 )
         spawn_buffered(ctx, com_apps=list(ctx.scenario.apps), batch_apps=[])
+
+    def analytic_plan(self, scenario) -> Optional[AnalyticPlan]:
+        """Closed-form model: all apps offloaded; same feasibility gate."""
+        reports = {}
+        for app in scenario.apps:
+            report = check_offloadable(app, scenario.calibration)
+            reports[app.name] = report
+            if not report:
+                raise OffloadError(
+                    f"{app.name} cannot be offloaded: "
+                    f"{'; '.join(report.reasons)}"
+                )
+        return AnalyticPlan(
+            family="buffered",
+            com_apps=list(scenario.apps),
+            offload_reports=reports,
+        )

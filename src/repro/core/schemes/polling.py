@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ...hubos.governor import CpuRestPolicy
-from .base import SchemeContext, SchemeExecutor
+from .base import AnalyticPlan, SchemeContext, SchemeExecutor
 from .registry import register_scheme
 
 
@@ -31,3 +33,7 @@ class PollingScheme(SchemeExecutor):
             ctx.hub.sim.spawn(
                 ctx.cpu_compute_process(app), name=f"compute:{app.name}"
             )
+
+    def analytic_plan(self, scenario) -> Optional[AnalyticPlan]:
+        """Closed-form model: CPU-blocking reads, MCU asleep throughout."""
+        return AnalyticPlan(family="cpu_polling")

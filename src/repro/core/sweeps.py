@@ -97,6 +97,7 @@ def run_sweep(
     cache_max_bytes: Optional[int] = None,
     backend: Optional[str] = None,
     backend_hosts: Optional[Sequence[str]] = None,
+    fidelity: Optional[str] = None,
 ) -> Sweep:
     """Run ``scenario_factory(**params)`` for every grid point.
 
@@ -114,7 +115,10 @@ def run_sweep(
     points that are app-order permutations of each other simulate once.
     Pass a pre-built ``engine`` to share one cache/backend/memory-LRU
     configuration across sweeps — its workers then persist between
-    calls.
+    calls.  ``fidelity`` overrides the engine's execution tier for this
+    sweep (``"des"``, ``"analytic"``, or ``"auto"`` — see
+    :class:`~repro.core.engine.ScenarioEngine`); each point's result
+    records the tier that produced it in ``RunResult.fidelity``.
     """
     owns_engine = engine is None
     engine = engine or ScenarioEngine(
@@ -139,7 +143,9 @@ def run_sweep(
         points.append(SweepPoint(params=params, result=None))
         pending.append((len(points) - 1, scenario))
     try:
-        outcomes = engine.run_batch([scenario for _, scenario in pending])
+        outcomes = engine.run_batch(
+            [scenario for _, scenario in pending], fidelity=fidelity
+        )
     finally:
         if owns_engine:
             # A caller-provided engine keeps its pool warm for the next

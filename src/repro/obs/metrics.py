@@ -136,6 +136,16 @@ class EngineMetrics:
     pool_tasks: int = 0
     #: Scenarios actually simulated (cache and dedup hits excluded).
     scenarios_run: int = 0
+    #: Closed-form evaluations by the analytic tier (cache hits excluded).
+    analytic_evals: int = 0
+    #: Grid points ``fidelity="auto"`` selected as the frontier (per-app-set
+    #: scheme winners plus within-band near-ties).
+    frontier_points: int = 0
+    #: Grid points ``fidelity="auto"`` sent to the DES: the frontier plus
+    #: every point outside the analytic tier's envelope.
+    des_confirmations: int = 0
+    #: Host seconds spent evaluating closed-form models.
+    analytic_wall_s: float = 0.0
     #: Host seconds spent computing scenario fingerprints.
     fingerprint_wall_s: float = 0.0
     #: Host seconds spent inside run()/run_batch() (includes cache I/O).
@@ -174,6 +184,10 @@ class EngineMetrics:
             "pool_dispatches": self.pool_dispatches,
             "pool_tasks": self.pool_tasks,
             "scenarios_run": self.scenarios_run,
+            "analytic_evals": self.analytic_evals,
+            "frontier_points": self.frontier_points,
+            "des_confirmations": self.des_confirmations,
+            "analytic_wall_s": self.analytic_wall_s,
             "fingerprint_wall_s": self.fingerprint_wall_s,
             "run_wall_s": self.run_wall_s,
             "scenarios_per_sec": self.scenarios_per_sec,
@@ -201,6 +215,17 @@ class EngineMetrics:
                 f"dedup: {self.dedup_hits} point(s) fanned out from "
                 "equivalent simulations"
             )
+        if self.analytic_evals:
+            line = (
+                f"analytic: {self.analytic_evals} closed-form eval(s) in "
+                f"{to_ms(self.analytic_wall_s):.2f} ms"
+            )
+            if self.des_confirmations:
+                line += (
+                    f"; auto confirmed {self.des_confirmations} point(s) "
+                    f"via DES ({self.frontier_points} frontier)"
+                )
+            lines.append(line)
         if self.backend_dispatches:
             name = self.backend_name or "?"
             line = (

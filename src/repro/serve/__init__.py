@@ -29,7 +29,7 @@ from .artifacts import (
 )
 from .client import ServeClient, collect_events
 from .coalesce import RequestCoalescer
-from .jobs import Job, JobManager, JobState, scenarios_from_spec
+from .jobs import Job, JobManager, JobState, scenarios_from_spec, spec_fidelity
 from .quota import ClientQuota
 from .router import Route, Router
 
@@ -51,4 +51,5 @@ __all__ = [
     "result_artifact",
     "scenario_descriptor",
     "scenarios_from_spec",
+    "spec_fidelity",
 ]

@@ -25,7 +25,9 @@ from ..core.scenario import Scenario
 from ..errors import ReproError
 
 #: Bump when the artifact payload layout changes shape.
-ARTIFACT_VERSION = 1
+#: v2: point artifacts carry the ``fidelity`` tier that produced them
+#: (``"des"`` or ``"analytic"``).
+ARTIFACT_VERSION = 2
 
 
 def json_safe(value: Any) -> Any:
@@ -74,6 +76,7 @@ def result_artifact(
     return {
         "artifact_version": ARTIFACT_VERSION,
         "fingerprint": fingerprint,
+        "fidelity": result.fidelity,
         "scenario": {
             "name": result.scenario_name,
             "scheme": result.scheme,

@@ -39,7 +39,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.engine import Outcome, ScenarioEngine
+from ..core.engine import FIDELITIES, Outcome, ScenarioEngine
 from ..core.scenario import Scenario
 from ..errors import (
     JobSpecError,
@@ -140,6 +140,23 @@ def scenarios_from_spec(
     return kind, scenarios, grid
 
 
+def spec_fidelity(spec: Dict[str, Any]) -> Optional[str]:
+    """A job spec's validated ``fidelity``, or None for the service default.
+
+    Any job kind may carry ``"fidelity": "des" | "analytic" | "auto"``;
+    unknown tiers raise :class:`~repro.errors.JobSpecError` at submission
+    time (not mid-execution).
+    """
+    fidelity = spec.get("fidelity") if isinstance(spec, dict) else None
+    if fidelity is None:
+        return None
+    if fidelity not in FIDELITIES:
+        raise JobSpecError(
+            f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+        )
+    return fidelity
+
+
 @dataclass
 class Job:
     """One submitted unit of work and everything observed about it."""
@@ -151,6 +168,8 @@ class Job:
     fingerprints: List[str]
     key: str
     grid: Optional[Dict[str, Any]] = None
+    #: Execution tier the spec requested (None = the service engine's).
+    fidelity: Optional[str] = None
     state: str = JobState.PENDING
     created_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
@@ -187,6 +206,7 @@ class Job:
             "finished_at": self.finished_at,
             "points_total": self.points_total,
             "points_done": self.points_done,
+            "fidelity": self.fidelity,
             "coalesced_into": self.coalesced_into,
             "waiters": list(self.waiters),
             "cancel_requested": self.cancel_requested,
@@ -318,11 +338,14 @@ class JobManager:
                 "the service is draining and accepts no new jobs"
             )
         kind, scenarios, grid = scenarios_from_spec(spec)
+        fidelity = spec_fidelity(spec)
         client = str(spec.get("client") or DEFAULT_CLIENT)
         self.quota.acquire(client)
         try:
-            fingerprints = self.engine.fingerprints(scenarios)
-            key = self.engine.batch_key(scenarios)
+            fingerprints = self.engine.fingerprints(
+                scenarios, fidelity=fidelity
+            )
+            key = self.engine.batch_key(scenarios, fidelity=fidelity)
             job = Job(
                 id=f"j{self._next_id}",
                 client=client,
@@ -331,6 +354,7 @@ class JobManager:
                 fingerprints=fingerprints,
                 key=key,
                 grid=grid,
+                fidelity=fidelity,
             )
             self._next_id += 1
             self._jobs[job.id] = job
@@ -459,7 +483,9 @@ class JobManager:
         """Engine-thread body: the test hook, then one engine batch."""
         if self._hook is not None:
             self._hook(job)
-        return self.engine.run_batch(chunk, client=job.client)
+        return self.engine.run_batch(
+            chunk, client=job.client, fidelity=job.fidelity
+        )
 
     async def _scheduler(self) -> None:
         """Drain the queue forever; ``None`` is the shutdown sentinel."""

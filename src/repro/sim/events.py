@@ -100,6 +100,31 @@ class EventQueue:
             self._cancelled -= 1
         return heap[0].time if heap else None
 
+    def pop_due(self, until: Optional[float]) -> Optional[Event]:
+        """Pop the earliest live event unless it lies beyond ``until``.
+
+        The kernel's hot path: one heap access per executed event
+        (``peek_time()`` + ``pop()`` would prune the same cancelled run
+        twice).  Cancelled entries are discarded on the way down; an
+        event after ``until`` stays queued and ``None`` is returned, so
+        the caller can distinguish "drained" (queue now empty) from
+        "parked" (live events remain beyond the horizon).
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)._queue = None
+                self._cancelled -= 1
+                continue
+            if until is not None and event.time > until:
+                return None
+            heapq.heappop(heap)
+            event._queue = None
+            self._live -= 1
+            return event
+        return None
+
     def _note_cancel(self) -> None:
         """Account for an in-heap cancellation; compact when dominated."""
         self._live -= 1

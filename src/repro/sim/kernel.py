@@ -127,18 +127,30 @@ class Simulator:
         heap = self._queue.raw_heap()
         try:
             executed = 0
+            # One queue access per event: pop_due prunes cancelled
+            # entries and pops the next live event in a single descent
+            # (peek_time() followed by step()->pop() would walk the same
+            # cancelled run twice).
             while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self._now = until
+                event = self._queue.pop_due(until)
+                if event is None:
+                    if until is not None and self._queue:
+                        # Live events remain beyond the horizon: park the
+                        # clock at ``until`` exactly, as before.
+                        self._now = until
                     break
                 if observing:
-                    depth = len(heap)
+                    # +1: the popped event itself, so the gauge matches
+                    # the historical sample taken before each pop.
+                    depth = len(heap) + 1
                     if depth > max_depth:
                         max_depth = depth
-                self.step()
+                if event.time < self._now:
+                    raise SimulationError(
+                        "event queue returned an event in the past"
+                    )
+                self._now = event.time
+                event.callback()
                 executed += 1
                 if executed > max_events:
                     raise SimulationError(

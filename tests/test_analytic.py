@@ -1,0 +1,369 @@
+"""The analytic tier's validation harness and the fidelity planner.
+
+The first half pins the closed-form models against the DES: every
+Figure 11 app set under all six schemes, plus seeded random app mixes
+and multi-window scenarios, must land within :data:`ANALYTIC_RTOL` on
+every energy/duration figure with exact integer counters.  The second
+half exercises the engine plumbing — fingerprint separation, the
+``auto`` planner's frontier selection (exact-match assertions), cache
+fidelity accounting, and the serve/CLI surfaces.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core import (
+    ANALYTIC_RTOL,
+    AUTO_CONFIRM_BAND,
+    FIDELITIES,
+    Scenario,
+    ScenarioEngine,
+    analytic_scenario_result,
+    scenario_fingerprint,
+    scenario_group_key,
+    supports_analytic,
+)
+from repro.core.cache import DiskResultCache
+from repro.core.schemes.base import execute_scenario
+from repro.errors import AnalyticUnsupported, ReproError
+
+SCHEMES = ("baseline", "polling", "com", "batching", "beam", "bcom")
+
+#: The paper's Figure 11 multi-app sets (offload-heavy A2..A7 mixes).
+FIG11_COMBOS = (
+    ("A2", "A5"),
+    ("A5", "A7"),
+    ("A4", "A5"),
+    ("A3", "A5"),
+    ("A2", "A7"),
+    ("A2", "A4"),
+    ("A4", "A7"),
+    ("A3", "A4"),
+    ("A2", "A5", "A7"),
+    ("A2", "A4", "A5"),
+    ("A5", "A7", "A4"),
+    ("A3", "A4", "A5"),
+    ("A2", "A4", "A7"),
+    ("A2", "A4", "A5", "A7"),
+)
+
+#: Seeded random mixes over the full Table II roster: the tier must hold
+#: beyond the combos it was tuned on.  The seed pins the suite; a new
+#: mix joining the list is a deliberate act, not flake.
+_rng = random.Random(0x1C0DE)
+_POOL = ["A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9", "A10"]
+RANDOM_MIXES = tuple(
+    tuple(sorted(_rng.sample(_POOL, _rng.choice([2, 2, 3]))))
+    for _ in range(6)
+)
+
+
+def _close(a, b, rtol=ANALYTIC_RTOL):
+    return abs(a - b) <= rtol * max(1.0, abs(a))
+
+
+def assert_analytic_matches_des(apps, scheme, windows=1):
+    """One comparison: identical errors, or figures within the band."""
+
+    def attempt(runner):
+        scenario = Scenario.of(list(apps), scheme=scheme, windows=windows)
+        try:
+            return runner(scenario), None
+        except AnalyticUnsupported:
+            raise
+        except ReproError as exc:
+            return None, f"{type(exc).__name__}: {exc}"
+
+    supported, _reason = supports_analytic(
+        Scenario.of(list(apps), scheme=scheme, windows=windows)
+    )
+    if not supported:
+        with pytest.raises(AnalyticUnsupported):
+            analytic_scenario_result(
+                Scenario.of(list(apps), scheme=scheme, windows=windows)
+            )
+        return
+    try:
+        ana, ana_err = attempt(analytic_scenario_result)
+    except AnalyticUnsupported:
+        # The runtime RAM-occupancy gate: the DES must actually be
+        # dropping samples there (a QoS violation), or the bail-out
+        # would be spurious.
+        des, des_err = attempt(execute_scenario)
+        assert des_err is None
+        assert any("RAM" in violation for violation in des.qos_violations)
+        return
+    des, des_err = attempt(execute_scenario)
+    assert des_err == ana_err
+    if des_err is not None:
+        return
+    assert ana.fidelity == "analytic" and des.fidelity == "des"
+    assert _close(des.duration_s, ana.duration_s)
+    assert _close(des.energy.total_j, ana.energy.total_j)
+    assert _close(des.energy.marginal_j, ana.energy.marginal_j)
+    assert des.interrupt_count == ana.interrupt_count
+    assert des.cpu_wake_count == ana.cpu_wake_count
+    assert des.bus_bytes == ana.bus_bytes
+    assert des.qos_violations == ana.qos_violations
+    keys = set(des.energy.by_component_routine) | set(
+        ana.energy.by_component_routine
+    )
+    for key in keys:
+        assert _close(
+            des.energy.by_component_routine.get(key, 0.0),
+            ana.energy.by_component_routine.get(key, 0.0),
+        ), key
+    for key in set(des.busy_times) | set(ana.busy_times):
+        assert _close(
+            des.busy_times.get(key, 0.0), ana.busy_times.get(key, 0.0)
+        ), key
+    assert set(des.result_times) == set(ana.result_times)
+    for app, times in des.result_times.items():
+        assert len(times) == len(ana.result_times[app])
+        for expected, got in zip(times, ana.result_times[app]):
+            assert abs(expected - got) <= 1e-9, app
+
+
+@pytest.mark.parametrize("apps", FIG11_COMBOS, ids="+".join)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_analytic_matches_des_fig11(apps, scheme):
+    assert_analytic_matches_des(apps, scheme)
+
+
+@pytest.mark.parametrize("apps", RANDOM_MIXES, ids="+".join)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_analytic_matches_des_random_mixes(apps, scheme):
+    assert_analytic_matches_des(apps, scheme)
+
+
+@pytest.mark.parametrize("apps", [("A2", "A5"), ("A3", "A4", "A5")],
+                         ids="+".join)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_analytic_matches_des_multi_window(apps, scheme):
+    assert_analytic_matches_des(apps, scheme, windows=3)
+
+
+# ----------------------------------------------------------------------
+# envelope gates
+# ----------------------------------------------------------------------
+def test_unsupported_gates():
+    failure = Scenario.of(
+        ["A2"], scheme="baseline", sensor_failure_rates={"S4": 0.5}
+    )
+    supported, reason = supports_analytic(failure)
+    assert not supported and "stochastic" in reason
+    partial = Scenario.of(["A2"], scheme="batching", batch_size=100)
+    supported, reason = supports_analytic(partial)
+    assert not supported and "partial-batch" in reason
+
+
+def test_offload_error_counts_as_supported():
+    # COM on a non-offloadable mix raises the identical error in both
+    # tiers, so no DES fallback is needed.
+    scenario = Scenario.of(["A2", "A11"], scheme="com")
+    supported, reason = supports_analytic(scenario)
+    assert supported and reason == ""
+    with pytest.raises(ReproError) as ana_exc:
+        analytic_scenario_result(scenario)
+    with pytest.raises(ReproError) as des_exc:
+        execute_scenario(Scenario.of(["A2", "A11"], scheme="com"))
+    assert type(ana_exc.value) is type(des_exc.value)
+    assert str(ana_exc.value) == str(des_exc.value)
+
+
+# ----------------------------------------------------------------------
+# fingerprints and grouping
+# ----------------------------------------------------------------------
+def test_fingerprint_separates_fidelity_tiers():
+    scenario = Scenario.of(["A2", "A5"], scheme="baseline")
+    des = scenario_fingerprint(scenario)
+    ana = scenario_fingerprint(scenario, fidelity="analytic")
+    assert des != ana
+    # The closed form has no fast_forward toggle: one analytic entry
+    # whatever the engine's setting.
+    assert ana == scenario_fingerprint(
+        scenario, fast_forward=True, fidelity="analytic"
+    )
+    assert des != scenario_fingerprint(scenario, fast_forward=True)
+    with pytest.raises(ValueError):
+        scenario_fingerprint(scenario, fidelity="auto")
+
+
+def test_group_key_spans_schemes_not_workloads():
+    a = scenario_group_key(Scenario.of(["A2", "A5"], scheme="baseline"))
+    b = scenario_group_key(Scenario.of(["A2", "A5"], scheme="bcom"))
+    c = scenario_group_key(Scenario.of(["A5", "A2"], scheme="beam"))
+    assert a == b == c  # schemes collapse; app permutations canonicalize
+    other_apps = scenario_group_key(Scenario.of(["A2", "A7"], scheme="bcom"))
+    other_windows = scenario_group_key(
+        Scenario.of(["A2", "A5"], scheme="baseline", windows=2)
+    )
+    assert a != other_apps
+    assert a != other_windows
+
+
+# ----------------------------------------------------------------------
+# the engine's fidelity tiers
+# ----------------------------------------------------------------------
+def _grid(apps_sets, schemes, windows=1):
+    return [
+        Scenario.of(list(apps), scheme=scheme, windows=windows)
+        for apps in apps_sets
+        for scheme in schemes
+    ]
+
+
+def test_engine_rejects_unknown_fidelity():
+    with pytest.raises(ValueError):
+        ScenarioEngine(fidelity="exact")
+    with ScenarioEngine() as engine:
+        with pytest.raises(ValueError):
+            engine.run_batch([], fidelity="fast")
+
+
+def test_analytic_tier_through_engine():
+    with ScenarioEngine(fidelity="analytic") as engine:
+        result = engine.run(Scenario.of(["A2", "A5"], scheme="bcom"))
+        assert result.fidelity == "analytic"
+        assert engine.metrics.analytic_evals == 1
+        assert engine.metrics.scenarios_run == 0
+        des = execute_scenario(Scenario.of(["A2", "A5"], scheme="bcom"))
+        assert _close(des.energy.marginal_j, result.energy.marginal_j)
+
+
+def test_analytic_tier_falls_back_to_des_when_unsupported():
+    scenario = Scenario.of(
+        ["A2"], scheme="baseline", sensor_failure_rates={"S4": 0.25}
+    )
+    with ScenarioEngine() as engine:
+        (outcome,) = engine.run_batch([scenario], fidelity="analytic")
+        assert outcome.fidelity == "des"
+        assert engine.metrics.scenarios_run == 1
+        assert engine.metrics.analytic_evals == 0
+
+
+def test_auto_frontier_selection_exact():
+    schemes = ("baseline", "beam", "bcom")
+    grid = _grid([("A2", "A5")], schemes)
+    with ScenarioEngine() as engine:
+        outcomes = engine.run_batch(grid, fidelity="auto")
+        # bcom wins this app set outright (no within-band near-tie), so
+        # the planner confirms exactly one point through the DES.
+        assert [r.fidelity for r in outcomes] == ["analytic", "analytic",
+                                                  "des"]
+        assert engine.metrics.analytic_evals == 3
+        assert engine.metrics.frontier_points == 1
+        assert engine.metrics.des_confirmations == 1
+        assert engine.metrics.scenarios_run == 1
+        winner = min(outcomes, key=lambda r: r.energy.marginal_j)
+        assert winner.scheme == "bcom" and winner.fidelity == "des"
+
+
+def test_auto_confirms_all_within_band_ties():
+    # Two copies of one scheme are a perfect tie — both sit inside
+    # AUTO_CONFIRM_BAND of the winner, so both are frontier points; the
+    # DES pass then dedups them into a single simulation.
+    assert AUTO_CONFIRM_BAND > 0
+    grid = _grid([("A2", "A5")], ("baseline", "baseline"))
+    with ScenarioEngine() as engine:
+        outcomes = engine.run_batch(grid, fidelity="auto")
+        assert [r.fidelity for r in outcomes] == ["des", "des"]
+        assert engine.metrics.frontier_points == 2
+        assert engine.metrics.des_confirmations == 2
+        assert engine.metrics.scenarios_run == 1  # deduped confirmation
+        assert engine.metrics.dedup_hits >= 1
+
+
+def test_auto_sends_unsupported_points_to_des():
+    supported = Scenario.of(["A2", "A5"], scheme="baseline")
+    unsupported = Scenario.of(["A2", "A5"], scheme="batching",
+                              batch_size=100)
+    with ScenarioEngine() as engine:
+        outcomes = engine.run_batch([supported, unsupported],
+                                    fidelity="auto")
+        # Different group keys (batch_size differs), so the supported
+        # point is its own group winner: both end up DES-confirmed.
+        assert [r.fidelity for r in outcomes] == ["des", "des"]
+        assert engine.metrics.analytic_evals == 1
+        assert engine.metrics.frontier_points == 1
+        assert engine.metrics.des_confirmations == 2
+
+
+def test_auto_matches_des_bit_identically_on_confirmed_points():
+    schemes = ("baseline", "beam", "bcom")
+    grid = _grid(FIG11_COMBOS[:4], schemes)
+    with ScenarioEngine() as auto_engine, ScenarioEngine() as des_engine:
+        auto = auto_engine.run_batch(grid, fidelity="auto")
+        des = des_engine.run_batch(_grid(FIG11_COMBOS[:4], schemes))
+        assert des_engine.metrics.scenarios_run == len(grid)
+        assert auto_engine.metrics.scenarios_run < len(grid) / 2
+        for a, d in zip(auto, des):
+            if a.fidelity == "des":
+                assert a.energy.marginal_j == d.energy.marginal_j
+                assert a.duration_s == d.duration_s
+            else:
+                assert _close(d.energy.marginal_j, a.energy.marginal_j)
+
+
+def test_fidelity_tiers_never_collide_in_cache(tmp_path):
+    cache_dir = tmp_path / "cache"
+    scenario = Scenario.of(["A2", "A5"], scheme="bcom")
+    with ScenarioEngine(cache_dir=cache_dir) as engine:
+        ana = engine.run(scenario, fidelity="analytic")
+        des = engine.run(Scenario.of(["A2", "A5"], scheme="bcom"))
+        assert ana.fidelity == "analytic" and des.fidelity == "des"
+        # Second analytic call is a pure cache hit (no new eval).
+        evals = engine.metrics.analytic_evals
+        again = engine.run(
+            Scenario.of(["A2", "A5"], scheme="bcom"), fidelity="analytic"
+        )
+        assert again.fidelity == "analytic"
+        assert engine.metrics.analytic_evals == evals
+    counts = DiskResultCache(cache_dir).fidelity_counts()
+    assert counts == {"analytic": 1, "des": 1}
+
+
+def test_fidelity_counts_treats_legacy_entries_as_des(tmp_path):
+    cache = DiskResultCache(tmp_path / "cache")
+    with ScenarioEngine(cache_dir=tmp_path / "cache") as engine:
+        engine.run(Scenario.of(["A2"], scheme="baseline"))
+    # A pre-fidelity envelope: rewrite the entry without the key.
+    (path, _size, _mtime), = cache.entries()
+    with open(path, "rb") as handle:
+        envelope = pickle.load(handle)
+    del envelope["fidelity"]
+    with open(path, "wb") as handle:
+        pickle.dump(envelope, handle, pickle.HIGHEST_PROTOCOL)
+    assert cache.fidelity_counts() == {"des": 1}
+
+
+def test_batch_key_mixes_fidelity():
+    scenarios = _grid([("A2", "A5")], ("baseline", "bcom"))
+    with ScenarioEngine() as engine:
+        des = engine.batch_key(scenarios)
+        auto = engine.batch_key(scenarios, fidelity="auto")
+        ana = engine.batch_key(scenarios, fidelity="analytic")
+        assert len({des, auto, ana}) == 3
+        # Fingerprints for auto are the DES grid identity.
+        assert engine.fingerprints(scenarios, fidelity="auto") == \
+            engine.fingerprints(scenarios)
+        assert engine.fingerprints(scenarios, fidelity="analytic") != \
+            engine.fingerprints(scenarios)
+
+
+def test_fidelities_tuple_is_closed():
+    assert FIDELITIES == ("des", "analytic", "auto")
+
+
+def test_analytic_obs_spans():
+    from repro.obs import TraceRecorder
+
+    recorder = TraceRecorder()
+    analytic_scenario_result(
+        Scenario.of(["A2", "A5"], scheme="bcom"), obs=recorder
+    )
+    spans = [span for span in recorder.spans if span.cat == "analytic"]
+    assert any(span.name == "bcom" for span in spans)
+    assert any(span.name.startswith("result:") for span in spans)

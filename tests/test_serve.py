@@ -19,6 +19,7 @@ from repro.serve import (
     canonical_json,
     result_artifact,
     scenarios_from_spec,
+    spec_fidelity,
 )
 
 GRID_SPEC = {
@@ -104,12 +105,40 @@ def test_run_job_completes_with_artifacts():
             payload = job.result_payload()
             assert payload["points_done"] == 1
             point = payload["points"][0]
-            assert point["artifact_version"] == 1
+            assert point["artifact_version"] == 2
+            assert point["fidelity"] == "des"
             assert point["scenario"]["apps"] == ["A1"]
             assert point["fingerprint"] == job.fingerprints[0]
             await manager.close()
 
     run_async(body())
+
+
+def test_fidelity_spec_threads_through_job():
+    async def body():
+        with ScenarioEngine() as engine:
+            manager = JobManager(engine, close_engine=False).start()
+            job = manager.submit(
+                {"kind": "run", "apps": ["A1"], "scheme": "baseline",
+                 "fidelity": "analytic"}
+            )
+            await manager.wait(job.id)
+            assert job.state == JobState.DONE
+            assert job.fidelity == "analytic"
+            assert job.describe()["fidelity"] == "analytic"
+            point = job.result_payload()["points"][0]
+            assert point["fidelity"] == "analytic"
+            # The closed form answered: no DES simulation ran.
+            assert engine.metrics.scenarios_run == 0
+            assert engine.metrics.analytic_evals == 1
+            await manager.close()
+
+    run_async(body())
+
+
+def test_bad_fidelity_rejected():
+    with pytest.raises(JobSpecError):
+        spec_fidelity({"kind": "run", "apps": ["A1"], "fidelity": "warp"})
 
 
 def test_grid_job_bit_identical_to_compare_grid():

@@ -228,4 +228,4 @@ def test_index_lists_endpoints():
         index = client.index()
         assert "POST /jobs" in index["endpoints"]
         assert "GET /jobs/{id}/events" in index["endpoints"]
-        assert index["artifact_version"] == 1
+        assert index["artifact_version"] == 2
